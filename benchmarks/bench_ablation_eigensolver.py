@@ -1,0 +1,47 @@
+"""Ablation — eigensolver path: dense LAPACK vs. sparse Lanczos.
+
+The paper solves the eigenproblem with LAPACK (dense). For the standard
+``VᵀV = I`` problem the trace-optimization layer also offers a Lanczos
+path; this bench times both on a COMPAS-scale kernel objective and checks
+they agree.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import smallest_eigenvectors
+from repro.graphs import knn_graph, laplacian
+
+
+@pytest.fixture(scope="module")
+def big_sparse_objective():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(3000, 6))
+    L = laplacian(knn_graph(X, n_neighbors=10))
+    # n×n sparse PSD matrix (kernel-PFR-shaped problem).
+    return L.tocsr()
+
+
+def test_bench_dense_eigensolver(benchmark, big_sparse_objective):
+    values, vectors = benchmark.pedantic(
+        smallest_eigenvectors,
+        args=(big_sparse_objective, 4),
+        kwargs={"solver": "dense"},
+        rounds=1,
+        iterations=1,
+    )
+    assert values.shape == (4,)
+    np.testing.assert_allclose(vectors.T @ vectors, np.eye(4), atol=1e-8)
+
+
+def test_bench_sparse_eigensolver(benchmark, big_sparse_objective):
+    values, vectors = benchmark.pedantic(
+        smallest_eigenvectors,
+        args=(big_sparse_objective, 4),
+        kwargs={"solver": "sparse"},
+        rounds=1,
+        iterations=1,
+    )
+    dense_values, _ = smallest_eigenvectors(big_sparse_objective, 4, solver="dense")
+    np.testing.assert_allclose(values, dense_values, atol=1e-5)

@@ -1,0 +1,45 @@
+"""Ablation — the best-achievable trade-off (the framing of Figures 2/5/8).
+
+The paper reports "the best achievable trade-off between utility and the
+two notions of individual fairness". This bench traces PFR's
+(AUC, Consistency(WF)) Pareto frontier over γ on the Crime workload and
+checks the frontier is a genuine curve: fairness is bought with utility.
+"""
+
+from repro.experiments import render_table, tradeoff_frontier
+from repro.experiments.figures import FigureResult, _harness
+
+from conftest import bench_scale, save_render
+
+
+def _run():
+    harness = _harness("crime", seed=0, scale=bench_scale("crime"))
+    out = tradeoff_frontier(
+        harness,
+        "pfr",
+        grid={"gamma": [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]},
+    )
+    rows = [
+        [params["gamma"], result.auc, result.consistency_wf]
+        for params, result in out["frontier"]
+    ]
+    text = render_table(["gamma", "AUC", "Consistency(WF)"], rows)
+    return FigureResult(
+        figure_id="ablation_pareto",
+        description="crime: PFR's AUC vs Consistency(WF) Pareto frontier over gamma",
+        data={"frontier": rows, "n_evaluated": len(out["results"])},
+        text=text,
+    )
+
+
+def test_bench_ablation_pareto(once):
+    result = once(_run)
+    save_render(result)
+    frontier = result.data["frontier"]
+    assert 2 <= len(frontier) <= result.data["n_evaluated"]
+    # Sorted by AUC: consistency must decrease as AUC increases — a true
+    # trade-off curve, not a single dominating point.
+    aucs = [row[1] for row in frontier]
+    consistencies = [row[2] for row in frontier]
+    assert aucs == sorted(aucs)
+    assert consistencies == sorted(consistencies, reverse=True)

@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the core computational kernels.
+
+These time the individual pieces that the figure regenerations compose:
+k-NN graph construction, fairness-graph construction, PFR fitting, the
+baselines' optimizers, and the downstream classifier — at COMPAS-scale
+inputs where meaningful.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import IFair, LFR
+from repro.core import PFR
+from repro.graphs import between_group_quantile_graph, knn_graph
+from repro.ml import LogisticRegression
+
+
+@pytest.fixture(scope="module")
+def payload():
+    rng = np.random.default_rng(0)
+    n = 4000
+    X = rng.normal(size=(n, 7))
+    y = (X[:, 0] + rng.normal(scale=0.8, size=n) > 0).astype(np.int64)
+    s = rng.integers(0, 2, n)
+    scores = X[:, 0] + rng.normal(scale=0.5, size=n)
+    w_fair = between_group_quantile_graph(scores, s, n_quantiles=10)
+    return X, y, s, w_fair
+
+
+def test_bench_knn_graph(benchmark, payload):
+    X, *_ = payload
+    W = benchmark(knn_graph, X, n_neighbors=10)
+    assert W.shape == (len(X), len(X))
+
+
+def test_bench_quantile_graph(benchmark, payload):
+    X, _, s, _ = payload
+    rng = np.random.default_rng(1)
+    scores = rng.random(len(X))
+    W = benchmark(
+        between_group_quantile_graph, scores, s, n_quantiles=10
+    )
+    assert W.nnz > 0
+
+
+def test_bench_pfr_fit(benchmark, payload):
+    X, _, _, w_fair = payload
+
+    def fit():
+        return PFR(n_components=3, gamma=0.7).fit(X, w_fair)
+
+    model = benchmark.pedantic(fit, rounds=2, iterations=1, warmup_rounds=0)
+    assert model.components_.shape == (7, 3)
+
+
+def test_bench_logistic_regression(benchmark, payload):
+    X, y, *_ = payload
+    model = benchmark(lambda: LogisticRegression().fit(X, y))
+    assert model.score(X, y) > 0.6
+
+
+def test_bench_lfr_fit(benchmark, payload):
+    X, y, s, _ = payload
+
+    def fit():
+        return LFR(n_prototypes=10, max_iter=50, seed=0).fit(X, y, s=s)
+
+    model = benchmark.pedantic(fit, rounds=1, iterations=1, warmup_rounds=0)
+    assert model.prototypes_.shape == (10, 7)
+
+
+def test_bench_ifair_fit(benchmark, payload):
+    X, *_ = payload
+
+    def fit():
+        return IFair(n_prototypes=10, max_iter=50, seed=0).fit(X)
+
+    model = benchmark.pedantic(fit, rounds=1, iterations=1, warmup_rounds=0)
+    assert model.prototypes_.shape == (10, 7)

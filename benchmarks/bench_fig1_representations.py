@@ -1,0 +1,23 @@
+"""Figure 1 — learned 2-D representations on the synthetic dataset."""
+
+from repro.experiments import figure1
+
+from conftest import bench_scale, save_render
+
+
+def test_bench_figure1(once):
+    result = once(figure1, scale=bench_scale("synthetic"), seed=0)
+    save_render(result)
+
+    geometry = result.data["geometry"]
+    # Original separates the groups; PFR mixes them and aligns the
+    # deserving candidates of both groups.
+    assert geometry["original"]["cross_group_distance"] > 1.05
+    assert (
+        geometry["pfr"]["cross_group_distance"]
+        < geometry["original"]["cross_group_distance"]
+    )
+    assert (
+        geometry["pfr"]["deserving_alignment"]
+        < geometry["original"]["deserving_alignment"] - 0.2
+    )

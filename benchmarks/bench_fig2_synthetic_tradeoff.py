@@ -1,0 +1,19 @@
+"""Figure 2 — synthetic: AUC / Consistency(WX) / Consistency(WF) bars."""
+
+from repro.experiments import figure2
+
+from conftest import bench_scale, save_render
+
+
+def test_bench_figure2(once):
+    result = once(figure2, scale=bench_scale("synthetic"), seed=0)
+    save_render(result)
+
+    results = result.data["results"]
+    # PFR wins Consistency(WF) by a wide margin over Original and LFR, and
+    # its AUC is at least on par with every method (the fairness graph is
+    # aligned with ground truth on this workload).
+    assert results["pfr"].consistency_wf > results["original"].consistency_wf + 0.1
+    assert results["pfr"].consistency_wf > results["lfr"].consistency_wf
+    assert results["pfr"].auc >= results["original"].auc - 0.02
+    assert results["pfr"].auc >= results["lfr"].auc - 0.02

@@ -1,0 +1,21 @@
+"""Figure 3 — synthetic: per-group positive rates and error rates."""
+
+from repro.experiments import figure3
+
+from conftest import bench_scale, save_render
+
+
+def test_bench_figure3(once):
+    result = once(figure3, scale=bench_scale("synthetic"), seed=0)
+    save_render(result)
+
+    results = result.data["results"]
+    original = results["original"].rates
+    pfr = results["pfr"].rates
+    # The original data is strongly biased; PFR closes the gaps.
+    assert original.gap("positive_rate") > 0.2
+    assert pfr.gap("positive_rate") < original.gap("positive_rate")
+    assert pfr.gap("fnr") < original.gap("fnr")
+    # Hardt (the group-fairness reference point) balances error rates.
+    hardt = results["hardt"].rates
+    assert hardt.gap("fpr") < 0.15

@@ -1,0 +1,22 @@
+"""Figure 4 — synthetic: influence of γ on fairness and utility."""
+
+from repro.experiments import figure4
+
+from conftest import bench_scale, save_render
+
+
+def test_bench_figure4(once):
+    result = once(
+        figure4,
+        scale=bench_scale("synthetic"),
+        seed=0,
+        gammas=(0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0),
+    )
+    save_render(result)
+
+    series = result.data["series"]
+    # γ ↑ ⇒ Consistency(WF) ↑, Consistency(WX) ↓, AUC ↑ (graph aligned
+    # with ground truth on the synthetic workload).
+    assert series["consistency_wf"][-1] > series["consistency_wf"][0] + 0.2
+    assert series["consistency_wx"][-1] < series["consistency_wx"][0]
+    assert series["auc_any"][-1] > series["auc_any"][0] + 0.05

@@ -1,0 +1,24 @@
+"""Figure 7 — Crime & Communities: influence of γ."""
+
+from repro.experiments import figure7
+
+from conftest import bench_scale, save_render
+
+
+def test_bench_figure7(once):
+    result = once(
+        figure7,
+        scale=bench_scale("crime"),
+        seed=0,
+        gammas=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+    )
+    save_render(result)
+
+    series = result.data["series"]
+    # γ ↑ ⇒ overall AUC ↓ while the protected group's AUC improves and the
+    # between-group AUC gap narrows — the paper's key Crime result.
+    assert series["auc_any"][-1] < series["auc_any"][0]
+    assert series["auc_s1"][-1] > series["auc_s1"][0]
+    gap_start = abs(series["auc_s0"][0] - series["auc_s1"][0])
+    gap_end = abs(series["auc_s0"][-1] - series["auc_s1"][-1])
+    assert gap_end < gap_start

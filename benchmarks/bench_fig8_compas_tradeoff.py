@@ -1,0 +1,18 @@
+"""Figure 8 — COMPAS: utility vs. individual fairness."""
+
+from repro.experiments import figure8
+
+from conftest import bench_scale, save_render
+
+
+def test_bench_figure8(once):
+    result = once(figure8, scale=bench_scale("compas"), seed=0)
+    save_render(result)
+
+    results = result.data["results"]
+    # §4.3.3: PFR performs similarly to the other representation learners
+    # on utility and individual fairness, and beats the unconstrained
+    # baselines on Consistency(WF).
+    assert results["pfr"].auc > results["original+"].auc - 0.05
+    assert results["pfr"].consistency_wf > results["original+"].consistency_wf
+    assert results["pfr"].consistency_wf > results["ifair+"].consistency_wf

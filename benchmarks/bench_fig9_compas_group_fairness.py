@@ -1,0 +1,22 @@
+"""Figure 9 — COMPAS: group fairness (incl. Hardt+)."""
+
+from repro.experiments import figure9
+
+from conftest import bench_scale, save_render
+
+
+def test_bench_figure9(once):
+    result = once(figure9, scale=bench_scale("compas"), seed=0)
+    save_render(result)
+
+    results = result.data["results"]
+    pfr = results["pfr"].rates
+    # "PFR clearly outperforms all other methods on group fairness": near-
+    # equal positive rates, and error balance as good as Hardt+.
+    assert pfr.gap("positive_rate") < 0.12
+    for method in ("original+", "ifair+"):
+        assert pfr.gap("positive_rate") < results[method].rates.gap("positive_rate")
+    pfr_mean = 0.5 * (pfr.gap("fpr") + pfr.gap("fnr"))
+    hardt = results["hardt+"].rates
+    hardt_mean = 0.5 * (hardt.gap("fpr") + hardt.gap("fnr"))
+    assert pfr_mean <= hardt_mean + 0.05

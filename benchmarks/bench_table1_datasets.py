@@ -1,0 +1,24 @@
+"""Table 1 — dataset statistics (sizes, group sizes, base rates)."""
+
+import pytest
+
+from repro.experiments import table1
+
+from conftest import save_render
+
+
+def test_bench_table1(once):
+    result = once(table1, scale=1.0, seed=0)
+    save_render(result)
+
+    rows = {r[0]: r for r in result.data["rows"]}
+    # Paper's Table 1, reproduced at full size.
+    assert rows["synthetic"][1:4] == [600, 300, 300]
+    assert rows["crime"][1:4] == [1993, 1423, 570]
+    assert rows["compas"][1:4] == [8803, 4218, 4585]
+    assert rows["synthetic"][4] == pytest.approx(0.51, abs=0.06)
+    assert rows["synthetic"][5] == pytest.approx(0.48, abs=0.06)
+    assert rows["crime"][4] == pytest.approx(0.35, abs=0.03)
+    assert rows["crime"][5] == pytest.approx(0.86, abs=0.03)
+    assert rows["compas"][4] == pytest.approx(0.41, abs=0.03)
+    assert rows["compas"][5] == pytest.approx(0.55, abs=0.03)

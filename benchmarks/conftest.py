@@ -1,0 +1,49 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every ``bench_*`` module regenerates one table or figure of the paper,
+asserts its qualitative shape, and writes the rendered output to
+``benchmarks/output/<experiment>.txt`` so the series the paper reports can
+be inspected after a run.
+
+Scales default to the paper's dataset sizes for synthetic and Crime and to
+half size for COMPAS (the full 8,803-offender simulation works too — set
+``REPRO_BENCH_SCALE=1.0``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+# Per-dataset default scales; multiplied by REPRO_BENCH_SCALE when set.
+_BASE_SCALES = {"synthetic": 1.0, "crime": 1.0, "compas": 0.5}
+
+
+def bench_scale(dataset: str) -> float:
+    """Dataset-size scale used by the benchmarks for ``dataset``."""
+    multiplier = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return max(0.01, min(1.0, _BASE_SCALES[dataset] * multiplier))
+
+
+def save_render(result) -> Path:
+    """Persist a FigureResult's rendering under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{result.figure_id}.txt"
+    path.write_text(result.render() + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (figure regenerations are
+    heavyweight; statistical repetition adds nothing)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

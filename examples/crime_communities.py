@@ -1,0 +1,63 @@
+"""Violent-neighborhood prediction with a star-rating fairness graph (§4.3).
+
+Demonstrates the *comparable individuals* elicitation (§3.2.1): communities
+with the same (rounded) mean resident safety rating form an equivalence
+class and are linked as equally deserving. The example also shows the
+sparsity of real side information — only ~75 % of communities have reviews,
+and the fairness graph simply leaves the rest unconstrained.
+
+Run:  python examples/crime_communities.py [--scale 0.35]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import simulate_crime
+from repro.datasets import rating_equivalence_classes
+from repro.experiments import ExperimentHarness, render_table
+from repro.graphs import edge_count, graph_density
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.35)
+    args = parser.parse_args()
+
+    data = simulate_crime(
+        max(50, int(1423 * args.scale)), max(50, int(570 * args.scale)), seed=0
+    )
+    print("Dataset:", data.table1_row())
+
+    ratings = data.side_information
+    observed = ~np.isnan(ratings)
+    print(f"Communities with reviews: {observed.sum()} / {data.n_samples}")
+    classes = rating_equivalence_classes(ratings)
+    sizes = {int(c): int((classes == c).sum()) for c in np.unique(classes) if c >= 0}
+    print("Equivalence classes (star -> count):", sizes)
+
+    harness = ExperimentHarness(data, seed=0, n_components=2)
+    harness.prepare()
+    print(
+        f"Fairness graph: {edge_count(harness.W_fair_full)} edges, "
+        f"density {graph_density(harness.W_fair_full):.4f}"
+    )
+
+    methods = ("original+", "ifair+", "lfr+", "pfr", "hardt+")
+    results = harness.run_methods(methods, gamma=1.0)
+    rows = [
+        [
+            m,
+            r.summary()["auc"],
+            r.summary()["consistency_wf"],
+            r.summary()["parity_gap"],
+            r.summary()["fpr_gap"],
+            r.summary()["fnr_gap"],
+        ]
+        for m, r in results.items()
+    ]
+    print(render_table(["method", "AUC", "Cons(WF)", "parity", "FPR gap", "FNR gap"], rows))
+
+
+if __name__ == "__main__":
+    main()

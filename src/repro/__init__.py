@@ -1,0 +1,93 @@
+"""repro — Pairwise Fair Representations (PFR).
+
+A complete reproduction of *"Operationalizing Individual Fairness with
+Pairwise Fair Representations"* (Lahoti, Gummadi & Weikum, VLDB 2019),
+including the PFR model, every baseline the paper compares against, the
+fairness-graph constructions, the evaluation measures, the datasets
+(simulators calibrated to the paper's Table 1 plus loaders for the real
+files), and the experiment harness that regenerates every table and figure.
+
+Quickstart
+----------
+>>> from repro import PFR, simulate_admissions
+>>> from repro.graphs import between_group_quantile_graph
+>>> data = simulate_admissions(seed=7)
+>>> # rank within groups by label-propensity, link equal quantiles:
+>>> from repro.experiments import within_group_ranking_scores
+>>> scores = within_group_ranking_scores(data.nonprotected_view(), data.y, data.s)
+>>> WF = between_group_quantile_graph(scores, data.s, n_quantiles=10)
+>>> Z = PFR(n_components=2, gamma=0.9).fit(data.X, WF).transform(data.X)
+"""
+
+from .baselines import (
+    EqualizedOddsPostProcessor,
+    IFair,
+    LFR,
+    MaskedRepresentation,
+    SideInformationAugmenter,
+)
+from .core import PFR, KernelPFR
+from .datasets import (
+    Dataset,
+    load_compas,
+    load_crime,
+    simulate_admissions,
+    simulate_compas,
+    simulate_crime,
+)
+from .exceptions import (
+    ConvergenceError,
+    DatasetError,
+    GraphConstructionError,
+    NotFittedError,
+    ReproError,
+    ValidationError,
+)
+from .graphs import (
+    between_group_quantile_graph,
+    equivalence_class_graph,
+    knn_graph,
+)
+from .io import load_model, save_model
+from .metrics import (
+    consistency,
+    demographic_parity_gap,
+    equalized_odds_gap,
+    group_auc,
+    group_rates,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PFR",
+    "KernelPFR",
+    "EqualizedOddsPostProcessor",
+    "IFair",
+    "LFR",
+    "MaskedRepresentation",
+    "SideInformationAugmenter",
+    "Dataset",
+    "load_compas",
+    "load_crime",
+    "simulate_admissions",
+    "simulate_compas",
+    "simulate_crime",
+    "ReproError",
+    "NotFittedError",
+    "ValidationError",
+    "ConvergenceError",
+    "DatasetError",
+    "GraphConstructionError",
+    "between_group_quantile_graph",
+    "equivalence_class_graph",
+    "knn_graph",
+    "consistency",
+    "demographic_parity_gap",
+    "equalized_odds_gap",
+    "group_auc",
+    "group_rates",
+    "load_model",
+    "save_model",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Baseline methods the paper compares against (§4.1).
+
+* :class:`MaskedRepresentation` — "Original": input with protected
+  attributes masked.
+* :class:`IFair` — iFair (Lahoti et al., ICDE 2019).
+* :class:`LFR` — Learning Fair Representations (Zemel et al., ICML 2013).
+* :class:`EqualizedOddsPostProcessor` — Hardt et al. (NIPS 2016).
+* :class:`SideInformationAugmenter` — the "+" augmentation that gives every
+  baseline train-time access to the fairness-graph side information.
+"""
+
+from .augment import SideInformationAugmenter
+from .hardt import EqualizedOddsPostProcessor
+from .ifair import IFair
+from .lfr import LFR
+from .original import MaskedRepresentation
+
+__all__ = [
+    "SideInformationAugmenter",
+    "EqualizedOddsPostProcessor",
+    "IFair",
+    "LFR",
+    "MaskedRepresentation",
+]

@@ -1,0 +1,105 @@
+"""Side-information augmentation — the paper's "+" baselines.
+
+For fair comparison the paper augments every baseline with the information
+used to construct the fairness graph, "as additional numerical features in
+the respective training data. Note that this enhancement is only for
+training, as this side-information is not available for the test data"
+(§4.3.1).
+
+:class:`SideInformationAugmenter` implements exactly that asymmetry: at
+train time the elicited values (star ratings, decile scores, within-group
+quantiles) are appended as extra columns; at transform time, when no values
+are supplied, the columns are imputed with the training means so the test
+features stay side-information-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_array, check_is_fitted
+from ..exceptions import ValidationError
+from ..ml.base import BaseEstimator, TransformerMixin
+
+__all__ = ["SideInformationAugmenter"]
+
+
+class SideInformationAugmenter(BaseEstimator, TransformerMixin):
+    """Append fairness side-information columns, with mean imputation at test time.
+
+    Parameters
+    ----------
+    side_information:
+        Array of shape ``(n_train,)`` or ``(n_train, k)`` aligned with the
+        *training* rows passed to ``fit``. Entries may contain NaN for
+        individuals without elicited judgments; NaNs are imputed with the
+        column mean of the observed entries.
+    """
+
+    def __init__(self, side_information=None):
+        self.side_information = side_information
+
+    def _as_matrix(self, values) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim == 1:
+            values = values[:, None]
+        if values.ndim != 2:
+            raise ValidationError(
+                f"side information must be 1-D or 2-D; got shape {values.shape}"
+            )
+        return values
+
+    def fit(self, X, y=None):
+        """Validate alignment and learn per-column imputation means."""
+        X = check_array(X, name="X")
+        if self.side_information is None:
+            raise ValidationError("SideInformationAugmenter requires side_information")
+        side = self._as_matrix(self.side_information)
+        if side.shape[0] != X.shape[0]:
+            raise ValidationError(
+                f"side information has {side.shape[0]} rows; X has {X.shape[0]}"
+            )
+        observed = ~np.isnan(side)
+        if not observed.any(axis=0).all():
+            raise ValidationError("a side-information column has no observed values")
+        means = np.array(
+            [side[observed[:, j], j].mean() for j in range(side.shape[1])]
+        )
+        self.means_ = means
+        self.n_features_in_ = X.shape[1]
+        self.n_side_columns_ = side.shape[1]
+        self._train_side = np.where(observed, side, means[None, :])
+        self._train_rows = X.shape[0]
+        return self
+
+    def transform(self, X, side_information=None) -> np.ndarray:
+        """Append the side columns.
+
+        With explicit ``side_information`` (or when ``X`` is exactly the
+        training matrix shape-wise and no values are given but training
+        values are cached), the supplied/cached values are used; otherwise
+        the training means are imputed — the test-time behaviour.
+        """
+        check_is_fitted(self, "means_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValidationError(
+                f"X has {X.shape[1]} features; fitted with {self.n_features_in_}"
+            )
+        if side_information is not None:
+            side = self._as_matrix(side_information)
+            if side.shape != (X.shape[0], self.n_side_columns_):
+                raise ValidationError(
+                    f"side information must have shape ({X.shape[0]}, "
+                    f"{self.n_side_columns_}); got {side.shape}"
+                )
+            observed = ~np.isnan(side)
+            side = np.where(observed, side, self.means_[None, :])
+        else:
+            side = np.tile(self.means_, (X.shape[0], 1))
+        return np.hstack([X, side])
+
+    def fit_transform(self, X, y=None, **fit_params):
+        """Fit, then transform the *training* rows with their true side values."""
+        self.fit(X, y)
+        return np.hstack([np.asarray(X, dtype=np.float64), self._train_side])

@@ -1,0 +1,167 @@
+"""Hardt, Price & Srebro (NIPS 2016) equalized-odds post-processing.
+
+The paper's group-fairness reference point ("Hardt", §4.1): given any
+trained binary predictor, derive group-conditional flip probabilities
+
+    p_{s,ŷ} = P(ỹ = 1 | ŷ, s)
+
+that minimize expected error subject to *equalized odds* — equal true- and
+false-positive rates across all groups. With the base predictor fixed, both
+the objective and the constraints are linear in the four (per group)
+probabilities, so the derivation is an exact linear program solved here
+with ``scipy.optimize.linprog``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.optimize
+
+from .._validation import (
+    check_binary_labels,
+    check_consistent_length,
+    check_random_state,
+    column_or_1d,
+)
+from ..exceptions import ConvergenceError, ValidationError
+from ..ml.base import BaseEstimator
+
+__all__ = ["EqualizedOddsPostProcessor"]
+
+
+class EqualizedOddsPostProcessor(BaseEstimator):
+    """Derive an equalized-odds predictor from a base predictor's outputs.
+
+    Fit on *validation* outputs: base predictions ``y_pred``, ground truth
+    ``y_true`` and group memberships ``s``. Afterwards
+    :meth:`predict` maps new base predictions to randomized fair outputs.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the randomized predictions (the derived predictor is
+        inherently stochastic).
+
+    Attributes
+    ----------
+    mix_probabilities_ : dict
+        ``{group: (p_if_pred_0, p_if_pred_1)}`` — probability of emitting a
+        positive given the base prediction.
+    groups_ : ndarray
+        Sorted group values seen during fit.
+    expected_error_ : float
+        The LP's optimal expected misclassification rate.
+    """
+
+    def __init__(self, seed=0):
+        self.seed = seed
+
+    @staticmethod
+    def _conditional_rates(y_true, y_pred, members):
+        """P(ŷ=1 | y=1, s), P(ŷ=1 | y=0, s) and class priors within a group."""
+        y_t = y_true[members]
+        y_p = y_pred[members]
+        positives = y_t == 1
+        negatives = ~positives
+        if positives.sum() == 0 or negatives.sum() == 0:
+            raise ValidationError(
+                "every group needs both classes present to equalize odds"
+            )
+        tpr_base = float(np.mean(y_p[positives]))
+        fpr_base = float(np.mean(y_p[negatives]))
+        return tpr_base, fpr_base, float(np.mean(positives))
+
+    def fit(self, y_true, y_pred, s):
+        """Solve the equalized-odds LP from held-out base-predictor outputs."""
+        y_true = check_binary_labels(y_true, name="y_true")
+        y_pred = check_binary_labels(y_pred, name="y_pred")
+        s = column_or_1d(s, name="s")
+        check_consistent_length(y_true, y_pred, s)
+
+        groups = np.unique(s)
+        if len(groups) < 2:
+            raise ValidationError("equalized odds requires at least two groups")
+
+        # Per group g, decision variables (p_g0, p_g1) with
+        #   TPR_g = p_g1 * P(ŷ=1|y=1,g) + p_g0 * P(ŷ=0|y=1,g)
+        #   FPR_g = p_g1 * P(ŷ=1|y=0,g) + p_g0 * P(ŷ=0|y=0,g)
+        # objective = Σ_g w_g [ π_g (1 - TPR_g) + (1-π_g) FPR_g ]
+        # constraints: TPR_g = TPR_first, FPR_g = FPR_first for all g.
+        n_groups = len(groups)
+        n_vars = 2 * n_groups
+        cost = np.zeros(n_vars)
+        tpr_rows = np.zeros((n_groups, n_vars))
+        fpr_rows = np.zeros((n_groups, n_vars))
+        group_weights = np.array([np.mean(s == g) for g in groups])
+
+        for idx, group in enumerate(groups):
+            members = s == group
+            tpr_base, fpr_base, prior = self._conditional_rates(y_true, y_pred, members)
+            i0, i1 = 2 * idx, 2 * idx + 1
+            tpr_rows[idx, i0] = 1.0 - tpr_base
+            tpr_rows[idx, i1] = tpr_base
+            fpr_rows[idx, i0] = 1.0 - fpr_base
+            fpr_rows[idx, i1] = fpr_base
+            weight = group_weights[idx]
+            # error_g = π (1 - TPR) + (1-π) FPR  →  linear part: -π TPR + (1-π) FPR
+            cost[i0] += weight * (-prior * tpr_rows[idx, i0] + (1 - prior) * fpr_rows[idx, i0])
+            cost[i1] += weight * (-prior * tpr_rows[idx, i1] + (1 - prior) * fpr_rows[idx, i1])
+
+        # Equality constraints against group 0.
+        A_eq = []
+        for idx in range(1, n_groups):
+            A_eq.append(tpr_rows[idx] - tpr_rows[0])
+            A_eq.append(fpr_rows[idx] - fpr_rows[0])
+        A_eq = np.asarray(A_eq)
+        b_eq = np.zeros(A_eq.shape[0])
+
+        result = scipy.optimize.linprog(
+            cost,
+            A_eq=A_eq,
+            b_eq=b_eq,
+            bounds=[(0.0, 1.0)] * n_vars,
+            method="highs",
+        )
+        if not result.success:
+            raise ConvergenceError(f"equalized-odds LP failed: {result.message}")
+
+        solution = result.x
+        self.groups_ = groups
+        self.mix_probabilities_ = {
+            group: (float(solution[2 * idx]), float(solution[2 * idx + 1]))
+            for idx, group in enumerate(groups)
+        }
+        constant = float(np.sum(group_weights * [
+            self._conditional_rates(y_true, y_pred, s == g)[2] for g in groups
+        ]))
+        self.expected_error_ = float(result.fun + constant)
+        return self
+
+    def _mixing_for(self, s: np.ndarray) -> np.ndarray:
+        table = np.zeros((len(s), 2))
+        known = np.zeros(len(s), dtype=bool)
+        for group, (p0, p1) in self.mix_probabilities_.items():
+            members = s == group
+            table[members, 0] = p0
+            table[members, 1] = p1
+            known |= members
+        if not known.all():
+            unseen = np.unique(np.asarray(s)[~known])
+            raise ValidationError(f"unseen groups at predict time: {unseen.tolist()}")
+        return table
+
+    def predict_proba_positive(self, y_pred, s) -> np.ndarray:
+        """Probability of emitting a positive for each individual (derandomized view)."""
+        if getattr(self, "mix_probabilities_", None) is None:
+            raise ValidationError("EqualizedOddsPostProcessor is not fitted yet")
+        y_pred = check_binary_labels(y_pred, name="y_pred")
+        s = column_or_1d(s, name="s")
+        check_consistent_length(y_pred, s)
+        table = self._mixing_for(s)
+        return table[np.arange(len(s)), y_pred]
+
+    def predict(self, y_pred, s, *, rng=None) -> np.ndarray:
+        """Randomized equalized-odds predictions from base predictions ``y_pred``."""
+        probabilities = self.predict_proba_positive(y_pred, s)
+        rng = check_random_state(self.seed if rng is None else rng)
+        return (rng.random(len(probabilities)) < probabilities).astype(np.int64)

@@ -1,0 +1,61 @@
+"""The "Original" baseline: input features with protected attributes masked.
+
+The paper's weakest baseline (§4.1) is "a naive representation of the input
+dataset wherein the protected attributes are masked". This transformer
+drops the protected columns, and composes with
+:class:`repro.baselines.augment.SideInformationAugmenter` to form the
+augmented ``Original+`` variant used on the real datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_array, check_is_fitted
+from ..exceptions import ValidationError
+from ..ml.base import BaseEstimator, TransformerMixin
+
+__all__ = ["MaskedRepresentation"]
+
+
+class MaskedRepresentation(BaseEstimator, TransformerMixin):
+    """Identity representation with the protected columns removed.
+
+    Parameters
+    ----------
+    protected_columns:
+        Indices of the columns to mask. ``None`` or empty keeps all columns
+        (a pure identity transform).
+    """
+
+    def __init__(self, protected_columns=None):
+        self.protected_columns = protected_columns
+
+    def fit(self, X, y=None):
+        """Record the input width and resolve the columns to keep."""
+        X = check_array(X, name="X")
+        m = X.shape[1]
+        if self.protected_columns is None:
+            drop = np.empty(0, dtype=int)
+        else:
+            drop = np.unique(np.asarray(self.protected_columns, dtype=int))
+            if drop.size and (drop.min() < 0 or drop.max() >= m):
+                raise ValidationError(
+                    f"protected_columns must be in [0, {m - 1}]; got {drop.tolist()}"
+                )
+        keep = np.setdiff1d(np.arange(m), drop)
+        if keep.size == 0:
+            raise ValidationError("masking removes every column")
+        self.keep_columns_ = keep
+        self.n_features_in_ = m
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Return ``X`` restricted to the non-protected columns."""
+        check_is_fitted(self, "keep_columns_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValidationError(
+                f"X has {X.shape[1]} features; fitted with {self.n_features_in_}"
+            )
+        return X[:, self.keep_columns_]

@@ -1,0 +1,98 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run figure2 [--scale 0.5] [--seed 0] [--output out.txt]
+    python -m repro run all --scale 0.25
+
+``run`` executes the experiment's driver, prints the ASCII rendering, and
+optionally writes it to a file. ``list`` shows every experiment with the
+qualitative shapes the reproduction is expected to exhibit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .experiments import EXPERIMENTS, get_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of Lahoti et al., VLDB 2019",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the reproducible experiments")
+
+    run = subparsers.add_parser("run", help="regenerate one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        help="experiment id (table1, figure1..figure10) or 'all'",
+    )
+    run.add_argument("--scale", type=float, default=1.0,
+                     help="dataset-size fraction in (0, 1] (default 1.0)")
+    run.add_argument("--seed", type=int, default=0, help="generator seed")
+    run.add_argument("--output", default=None,
+                     help="also write the rendering to this file")
+
+    report = subparsers.add_parser(
+        "report", help="full §4-style report for one workload"
+    )
+    report.add_argument("dataset", choices=["synthetic", "crime", "compas"])
+    report.add_argument("--scale", type=float, default=1.0)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--output", default=None)
+    return parser
+
+
+def _run_one(experiment_id: str, *, scale: float, seed: int) -> str:
+    spec = get_experiment(experiment_id)
+    result = spec.driver(scale=scale, seed=seed)
+    return result.render()
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for spec in EXPERIMENTS.values():
+            print(f"{spec.experiment_id:10s} [{spec.dataset:9s}] {spec.title}")
+            for shape in spec.expected_shapes:
+                print(f"             - {shape}")
+        return 0
+
+    if args.command == "report":
+        from .experiments.summary import workload_report
+
+        text = workload_report(args.dataset, scale=args.scale, seed=args.seed)
+        print(text)
+        if args.output:
+            Path(args.output).write_text(text + "\n", encoding="utf-8")
+        return 0
+
+    targets = (
+        list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    try:
+        renders = [
+            _run_one(target, scale=args.scale, seed=args.seed)
+            for target in targets
+        ]
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    text = "\n\n".join(renders)
+    print(text)
+    if args.output:
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+    return 0

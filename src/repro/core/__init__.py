@@ -1,0 +1,25 @@
+"""The paper's primary contribution: Pairwise Fair Representations.
+
+* :class:`PFR` — linear PFR (Equations 5–7).
+* :class:`KernelPFR` — kernelized extension (Equation 8, §3.3.4).
+* :mod:`repro.core.trace_optimization` — the shared eigensolver layer.
+"""
+
+from .kernel_pfr import KernelPFR, kernel_matrix
+from .pfr import PFR
+from .trace_optimization import (
+    objective_matrix,
+    pairwise_loss,
+    sign_normalize,
+    smallest_eigenvectors,
+)
+
+__all__ = [
+    "PFR",
+    "KernelPFR",
+    "kernel_matrix",
+    "objective_matrix",
+    "pairwise_loss",
+    "sign_normalize",
+    "smallest_eigenvectors",
+]

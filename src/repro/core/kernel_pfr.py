@@ -1,0 +1,273 @@
+"""Kernelized PFR (paper §3.3.4 — flagged by the authors as future work).
+
+Replaces the linear map ``Z = X V`` with ``Z = Φ(X) V`` where
+``V = Σ_i α_i Φ(x_i)`` lives in the feature space of a Mercer kernel
+``K_ij = k(x_i, x_j)``. The optimization becomes (Equation 8)
+
+    K ((1-γ) L_X + γ L_F) K α = λ α
+
+and the representation of any point set is ``Z = A ᵀK`` — in row convention,
+``Z = K(X_new, X_train) A`` with ``A = [α_1 … α_d]``.
+
+The paper evaluates only linear PFR; this module implements the extension so
+the ablation benchmarks can quantify what the kernel buys on non-linearly
+structured data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_array, check_is_fitted, check_symmetric
+from ..exceptions import ValidationError
+from ..graphs.knn import knn_graph, median_heuristic, pairwise_sq_distances
+from ..graphs.laplacian import combine_laplacians, laplacian
+from ..ml.base import BaseEstimator, TransformerMixin
+from .trace_optimization import smallest_eigenvectors
+
+__all__ = ["KernelPFR", "kernel_matrix"]
+
+
+def kernel_matrix(
+    X,
+    Y=None,
+    *,
+    kernel: str = "rbf",
+    bandwidth: float | None = None,
+    degree: int = 3,
+    coef0: float = 1.0,
+) -> np.ndarray:
+    """Mercer kernel matrix between rows of ``X`` and ``Y``.
+
+    Supported kernels: ``"linear"`` (x·y), ``"rbf"``
+    (``exp(-||x-y||²/t)``, ``t`` = median heuristic when unset) and
+    ``"poly"`` (``(x·y + coef0)^degree``).
+    """
+    X = check_array(X, name="X")
+    Y = X if Y is None else check_array(Y, name="Y")
+    if X.shape[1] != Y.shape[1]:
+        raise ValidationError(
+            f"X and Y have different feature counts: {X.shape[1]} vs {Y.shape[1]}"
+        )
+    if kernel == "linear":
+        return X @ Y.T
+    if kernel == "rbf":
+        if bandwidth is None:
+            bandwidth = median_heuristic(Y)
+        if bandwidth <= 0:
+            raise ValidationError(f"bandwidth must be positive; got {bandwidth}")
+        return np.exp(-pairwise_sq_distances(X, Y) / bandwidth)
+    if kernel == "poly":
+        if degree < 1:
+            raise ValidationError(f"degree must be >= 1; got {degree}")
+        return (X @ Y.T + coef0) ** degree
+    raise ValidationError(f"unknown kernel {kernel!r}; use 'linear', 'rbf' or 'poly'")
+
+
+class KernelPFR(BaseEstimator, TransformerMixin):
+    """Kernelized Pairwise Fair Representation learner (Equation 8).
+
+    Parameters mirror :class:`repro.core.PFR` plus the kernel configuration.
+    The training data is retained (needed to kernelize new points), so
+    memory is O(n·m) + O(n·d).
+
+    Attributes
+    ----------
+    alphas_ : ndarray of shape (n, d)
+        Dual coefficients ``A = [α_1 … α_d]``.
+    eigenvalues_ : ndarray of shape (d,)
+        Ascending eigenvalues of ``K L K``.
+    X_fit_ : ndarray of shape (n, m)
+        Retained training data for out-of-sample kernel evaluation.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 2,
+        gamma: float = 0.5,
+        kernel: str = "rbf",
+        kernel_bandwidth: float | None = None,
+        degree: int = 3,
+        coef0: float = 1.0,
+        n_neighbors: int = 10,
+        bandwidth: float | None = None,
+        exclude_columns=None,
+        rescale: str = "objective",
+        constraint: str = "z",
+        eig_solver: str = "dense",
+        ridge: float = 1e-8,
+    ):
+        self.n_components = n_components
+        self.gamma = gamma
+        self.kernel = kernel
+        self.kernel_bandwidth = kernel_bandwidth
+        self.degree = degree
+        self.coef0 = coef0
+        self.n_neighbors = n_neighbors
+        self.bandwidth = bandwidth
+        self.exclude_columns = exclude_columns
+        self.rescale = rescale
+        self.constraint = constraint
+        self.eig_solver = eig_solver
+        self.ridge = ridge
+
+    def _kernel(self, X, Y) -> np.ndarray:
+        return kernel_matrix(
+            X,
+            Y,
+            kernel=self.kernel,
+            bandwidth=self.kernel_bandwidth,
+            degree=self.degree,
+            coef0=self.coef0,
+        )
+
+    def fit(self, X, w_fair, *, w_x=None):
+        """Learn dual coefficients ``A`` from data and a fairness graph."""
+        X = check_array(X, name="X", min_samples=2)
+        n = X.shape[0]
+        if not 1 <= self.n_components <= n:
+            raise ValidationError(
+                f"n_components must be in [1, n={n}]; got {self.n_components}"
+            )
+        if not 0.0 <= self.gamma <= 1.0:
+            raise ValidationError(f"gamma must be in [0, 1]; got {self.gamma}")
+
+        w_fair = check_symmetric(w_fair, name="w_fair")
+        if w_fair.shape[0] != n:
+            raise ValidationError(
+                f"w_fair has {w_fair.shape[0]} nodes but X has {n} samples"
+            )
+        if w_x is None:
+            w_x = knn_graph(
+                X,
+                n_neighbors=min(self.n_neighbors, n - 1),
+                bandwidth=self.bandwidth,
+                exclude=self.exclude_columns,
+            )
+        else:
+            w_x = check_symmetric(w_x, name="w_x")
+
+        if self.kernel == "rbf" and self.kernel_bandwidth is None:
+            # Freeze the data-dependent bandwidth now so transform() uses
+            # the same kernel as fit().
+            self._fitted_bandwidth = median_heuristic(X)
+        else:
+            self._fitted_bandwidth = self.kernel_bandwidth
+
+        K = kernel_matrix(
+            X,
+            X,
+            kernel=self.kernel,
+            bandwidth=self._fitted_bandwidth,
+            degree=self.degree,
+            coef0=self.coef0,
+        )
+        if self.constraint == "z":
+            # Work in K's principal subspace: with K = U S Uᵀ and feature
+            # coordinates Φ = U_r √S_r, kernel PFR reduces to *linear* PFR on
+            # Φ under the ZZᵀ = I constraint. This keeps the eigensolver out
+            # of K's (huge, uninformative) near-null space, which otherwise
+            # absorbs all of the smallest eigenvectors.
+            eigenvalues, A = self._fit_principal_subspace(K, w_x, w_fair)
+        elif self.constraint == "v":
+            if self.rescale == "objective":
+                def projected(L):
+                    M_part = K @ (L @ K)
+                    trace = np.trace(M_part)
+                    return M_part / trace if trace > 0 else M_part
+
+                M = (1.0 - self.gamma) * projected(laplacian(w_x)) \
+                    + self.gamma * projected(laplacian(w_fair))
+            else:
+                L = combine_laplacians(
+                    laplacian(w_x),
+                    laplacian(w_fair),
+                    self.gamma,
+                    rescale=self.rescale == "degree",
+                )
+                M = K @ (L @ K)
+            M = 0.5 * (M + M.T)
+            if self.ridge:
+                # K L K is rank-deficient whenever K is; a tiny ridge keeps
+                # the eigensolver away from the exact null space.
+                M = M + self.ridge * np.eye(n)
+            eigenvalues, A = smallest_eigenvectors(
+                M, self.n_components, solver=self.eig_solver
+            )
+        else:
+            raise ValidationError(
+                f"constraint must be 'z' or 'v'; got {self.constraint!r}"
+            )
+        self.alphas_ = A
+        self.eigenvalues_ = eigenvalues
+        self.X_fit_ = X
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def _fit_principal_subspace(self, K, w_x, w_fair):
+        """Solve kernel PFR in K's principal subspace (ZZᵀ = I mode).
+
+        Returns ascending eigenvalues and dual coefficients ``A`` such that
+        ``Z = K A`` both in- and out-of-sample.
+        """
+        import scipy.linalg
+
+        n = K.shape[0]
+        spectrum, U = scipy.linalg.eigh(0.5 * (K + K.T))
+        keep = spectrum > max(spectrum.max(), 0.0) * 1e-10
+        if not keep.any():
+            raise ValidationError("kernel matrix is numerically zero")
+        S = spectrum[keep]
+        U = U[:, keep]
+        rank = int(keep.sum())
+        if self.n_components > rank:
+            raise ValidationError(
+                f"n_components={self.n_components} exceeds the kernel rank {rank}"
+            )
+        Phi = U * np.sqrt(S)  # (n, r): feature coordinates with K = Phi Phiᵀ
+
+        L_x = laplacian(w_x)
+        L_f = laplacian(w_fair)
+        if self.rescale == "objective":
+            def projected(L):
+                M_part = Phi.T @ (L @ Phi)
+                trace = np.trace(M_part)
+                return M_part / trace if trace > 0 else M_part
+
+            M = (1.0 - self.gamma) * projected(L_x) + self.gamma * projected(L_f)
+        else:
+            L = combine_laplacians(L_x, L_f, self.gamma,
+                                   rescale=self.rescale == "degree")
+            M = Phi.T @ (L @ Phi)
+        M = 0.5 * (M + M.T)
+        B = np.diag(S) + self.ridge * max(float(S.mean()), 1.0) * np.eye(rank)
+
+        eigenvalues, V = smallest_eigenvectors(M, self.n_components, B=B)
+        # Z = Phi V = K (U S^{-1/2} V): fold the basis change into the duals.
+        A = U @ (V / np.sqrt(S)[:, None])
+        return eigenvalues, A
+
+    def transform(self, X) -> np.ndarray:
+        """Project points through the kernel: ``Z = K(X, X_fit) A``."""
+        check_is_fitted(self, "alphas_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValidationError(
+                f"X has {X.shape[1]} features; KernelPFR was fitted with "
+                f"{self.n_features_in_}"
+            )
+        K_new = kernel_matrix(
+            X,
+            self.X_fit_,
+            kernel=self.kernel,
+            bandwidth=self._fitted_bandwidth,
+            degree=self.degree,
+            coef0=self.coef0,
+        )
+        return K_new @ self.alphas_
+
+    def fit_transform(self, X, w_fair=None, **fit_params):
+        """Fit on ``(X, w_fair)`` and return the transformed training data."""
+        if w_fair is None:
+            raise ValidationError("KernelPFR.fit_transform requires the fairness graph")
+        return self.fit(X, w_fair, **fit_params).transform(X)

@@ -1,0 +1,249 @@
+"""PFR — Pairwise Fair Representations (paper §3.3, the primary contribution).
+
+PFR learns a linear map ``Z = X V`` (``V`` of shape ``(m, d)``, row-sample
+convention) by minimizing
+
+    (1-γ) Σ_ij ||z_i - z_j||² WX_ij + γ Σ_ij ||z_i - z_j||² WF_ij
+    subject to  VᵀV = I                                       (Equation 5)
+
+which reduces (§3.3.2) to taking the ``d`` smallest eigenvectors of
+``Xᵀ((1-γ)L_X + γL_F)X`` (Equation 7). ``WX`` is the k-NN heat-kernel graph
+over the non-protected attributes; ``WF`` is the fairness graph elicited
+from pairwise judgments (:mod:`repro.graphs.fairness`).
+
+Once fitted, :meth:`PFR.transform` maps *unseen* individuals into the fair
+representation using only their data attributes — no judgments are needed at
+test time, which is the property that makes the method deployable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_array, check_is_fitted, check_symmetric
+from ..exceptions import ValidationError
+from ..graphs.knn import knn_graph
+from ..graphs.laplacian import combine_laplacians, laplacian
+from ..ml.base import BaseEstimator, TransformerMixin
+from .trace_optimization import objective_matrix, smallest_eigenvectors
+
+__all__ = ["PFR"]
+
+
+class PFR(BaseEstimator, TransformerMixin):
+    """Pairwise Fair Representation learner (linear variant).
+
+    Parameters
+    ----------
+    n_components:
+        Latent dimensionality ``d`` (must satisfy ``d <= m``).
+    gamma:
+        Trade-off ``γ ∈ [0, 1]`` between the data graph ``WX`` (γ=0) and the
+        fairness graph ``WF`` (γ=1) — Equation 5.
+    n_neighbors:
+        ``p`` for the k-NN graph built when no ``WX`` is supplied to ``fit``.
+    bandwidth:
+        Heat-kernel bandwidth ``t``; ``None`` = median heuristic.
+    exclude_columns:
+        Indices of protected-attribute columns, excluded from the k-NN
+        distance (the paper computes ``Np`` "excluding the protected
+        attributes"). Only used when ``fit`` builds ``WX`` itself.
+        Multi-valued protected attributes (§3.1 allows more than two
+        groups) should be **one-hot encoded**: a single integer-coded
+        column cannot linearly absorb non-monotone per-group shifts, so
+        the linear map would be unable to align the groups.
+    normalized_laplacian:
+        Use symmetric-normalized Laplacians instead of combinatorial ones
+        (an ablation; the paper uses combinatorial).
+    rescale:
+        How to balance the two graph terms before mixing with γ:
+
+        * ``"objective"`` (default) — normalize the projected objective
+          matrices ``XᵀL_XX`` and ``XᵀL_FX`` by their traces, so γ
+          interpolates between the two *losses* of Equation 5 on a common
+          scale. Required to reproduce the paper's smooth γ-sweeps when
+          ``WF`` is orders of magnitude denser than ``WX``
+          (equivalence-class cliques, quantile graphs).
+        * ``"degree"`` — divide each Laplacian by its average degree.
+        * ``"none"`` — the verbatim Equation 6 combination.
+    constraint:
+        ``"z"`` (default) enforces the paper's Equation 5 constraint
+        ``ZZᵀ = I`` via the generalized eigenproblem
+        ``X L Xᵀ v = λ X Xᵀ v`` (LPP-style). ``"v"`` enforces Equation 6's
+        ``VᵀV = I`` via the standard eigenproblem. The two equations in the
+        paper are inconsistent; ``"v"`` is pathological when X has (near-)
+        collinear columns because the smallest eigenvectors then live in
+        X's null space where the objective is trivially zero. See DESIGN.md.
+    ridge:
+        Regularization added to ``XᵀX`` in the ``"z"`` mode to keep the
+        generalized problem well-posed for rank-deficient X.
+    eig_solver:
+        ``"auto"``, ``"dense"`` (LAPACK, the paper's choice) or ``"sparse"``
+        (Lanczos) — forwarded to the trace-optimization layer (standard
+        problem only; the generalized problem is always dense).
+
+    Attributes
+    ----------
+    components_ : ndarray of shape (m, d)
+        The learned orthonormal basis ``V``; columns are eigenvectors of the
+        objective matrix in ascending eigenvalue order.
+    eigenvalues_ : ndarray of shape (d,)
+        Eigenvalues associated with each component.
+    n_features_in_ : int
+        Number of input features ``m`` seen during fit.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import PFR
+    >>> from repro.graphs import between_group_quantile_graph
+    >>> rng = np.random.default_rng(0)
+    >>> X = rng.normal(size=(40, 5))
+    >>> groups = np.repeat([0, 1], 20)
+    >>> scores = rng.random(40)
+    >>> WF = between_group_quantile_graph(scores, groups, n_quantiles=4)
+    >>> Z = PFR(n_components=2, gamma=0.5).fit(X, WF).transform(X)
+    >>> Z.shape
+    (40, 2)
+    """
+
+    def __init__(
+        self,
+        n_components: int = 2,
+        gamma: float = 0.5,
+        n_neighbors: int = 10,
+        bandwidth: float | None = None,
+        exclude_columns=None,
+        normalized_laplacian: bool = False,
+        rescale: str = "objective",
+        constraint: str = "z",
+        ridge: float = 1e-8,
+        eig_solver: str = "auto",
+    ):
+        self.n_components = n_components
+        self.gamma = gamma
+        self.n_neighbors = n_neighbors
+        self.bandwidth = bandwidth
+        self.exclude_columns = exclude_columns
+        self.normalized_laplacian = normalized_laplacian
+        self.rescale = rescale
+        self.constraint = constraint
+        self.ridge = ridge
+        self.eig_solver = eig_solver
+
+    def _validate_hyper_parameters(self, n_features: int) -> None:
+        if not 1 <= self.n_components <= n_features:
+            raise ValidationError(
+                f"n_components must be in [1, m={n_features}]; got {self.n_components}"
+            )
+        if not 0.0 <= self.gamma <= 1.0:
+            raise ValidationError(f"gamma must be in [0, 1]; got {self.gamma}")
+        if self.constraint not in ("z", "v"):
+            raise ValidationError(
+                f"constraint must be 'z' (ZZᵀ=I, Eq. 5) or 'v' (VᵀV=I, Eq. 6); "
+                f"got {self.constraint!r}"
+            )
+        if self.rescale not in ("objective", "degree", "none"):
+            raise ValidationError(
+                f"rescale must be 'objective', 'degree' or 'none'; got {self.rescale!r}"
+            )
+        if self.ridge < 0:
+            raise ValidationError(f"ridge must be non-negative; got {self.ridge}")
+
+    def fit(self, X, w_fair, *, w_x=None):
+        """Learn the fair basis ``V`` from data and a fairness graph.
+
+        Parameters
+        ----------
+        X:
+            Feature matrix of shape ``(n, m)``.
+        w_fair:
+            Fairness-graph adjacency ``WF`` of shape ``(n, n)`` (sparse or
+            dense, symmetric, non-negative). May be all-zero — PFR then
+            degrades gracefully to Laplacian-eigenmap dimensionality
+            reduction on ``WX``.
+        w_x:
+            Optional precomputed data-similarity graph ``WX``. When omitted,
+            the k-NN heat-kernel graph is built from ``X`` using the
+            constructor's ``n_neighbors`` / ``bandwidth`` /
+            ``exclude_columns``.
+        """
+        X = check_array(X, name="X", min_samples=2)
+        n, m = X.shape
+        self._validate_hyper_parameters(m)
+
+        w_fair = check_symmetric(w_fair, name="w_fair")
+        if w_fair.shape[0] != n:
+            raise ValidationError(
+                f"w_fair has {w_fair.shape[0]} nodes but X has {n} samples"
+            )
+
+        if w_x is None:
+            w_x = knn_graph(
+                X,
+                n_neighbors=min(self.n_neighbors, n - 1),
+                bandwidth=self.bandwidth,
+                exclude=self.exclude_columns,
+            )
+        else:
+            w_x = check_symmetric(w_x, name="w_x")
+            if w_x.shape[0] != n:
+                raise ValidationError(
+                    f"w_x has {w_x.shape[0]} nodes but X has {n} samples"
+                )
+
+        L_x = laplacian(w_x, normalized=self.normalized_laplacian)
+        L_f = laplacian(w_fair, normalized=self.normalized_laplacian)
+        if self.rescale == "objective":
+            M_x = objective_matrix(X, L_x)
+            M_f = objective_matrix(X, L_f)
+            trace_x = np.trace(M_x)
+            trace_f = np.trace(M_f)
+            if trace_x > 0:
+                M_x = M_x / trace_x
+            if trace_f > 0:
+                M_f = M_f / trace_f
+            M = (1.0 - self.gamma) * M_x + self.gamma * M_f
+        else:
+            L = combine_laplacians(
+                L_x, L_f, self.gamma, rescale=self.rescale == "degree"
+            )
+            M = objective_matrix(X, L)
+        if self.constraint == "z":
+            B = X.T @ X + self.ridge * np.trace(X.T @ X) / m * np.eye(m)
+            eigenvalues, V = smallest_eigenvectors(M, self.n_components, B=B)
+        else:
+            eigenvalues, V = smallest_eigenvectors(
+                M, self.n_components, solver=self.eig_solver
+            )
+
+        self.components_ = V
+        self.eigenvalues_ = eigenvalues
+        self.n_features_in_ = m
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Project (possibly unseen) individuals: ``Z = X V``, shape ``(n, d)``."""
+        check_is_fitted(self, "components_")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValidationError(
+                f"X has {X.shape[1]} features; PFR was fitted with {self.n_features_in_}"
+            )
+        return X @ self.components_
+
+    def fit_transform(self, X, w_fair=None, **fit_params):
+        """Fit on ``(X, w_fair)`` and return the transformed training data."""
+        if w_fair is None:
+            raise ValidationError("PFR.fit_transform requires the fairness graph w_fair")
+        return self.fit(X, w_fair, **fit_params).transform(X)
+
+    def objective_value(self, X, W) -> float:
+        """Pairwise loss ``Σ_ij ||z_i - z_j||² W_ij`` of the fitted map on graph ``W``.
+
+        Useful for inspecting how much of each graph's structure the learned
+        representation preserves (Equations 3–4 evaluated at the optimum).
+        """
+        from .trace_optimization import pairwise_loss
+
+        return pairwise_loss(self.transform(X), W)

@@ -1,0 +1,171 @@
+"""Trace-minimization layer shared by linear and kernel PFR (paper §3.3.2–3.3.3).
+
+Both PFR variants reduce to: find the ``d`` eigenvectors with smallest
+eigenvalues of a symmetric positive semi-definite matrix
+
+    linear PFR:  M = X ((1-γ) L_X + γ L_F) Xᵀ      (m × m, Equation 7)
+    kernel PFR:  M = K ((1-γ) L_X + γ L_F) K        (n × n, Equation 8)
+
+(using the paper's column-sample convention; this library stores samples as
+rows, so the linear case is ``Xᵀ L X``). The paper solves this with LAPACK
+via scipy; we expose a dense LAPACK path and a sparse Lanczos path behind
+one function, plus helpers to assemble the objective matrix and to evaluate
+the pairwise loss ``Σ_ij ||z_i - z_j||² W_ij = 2·Tr(Zᵀ L Z)`` used by tests
+and benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from .._validation import check_array, check_symmetric
+from ..exceptions import ValidationError
+
+__all__ = [
+    "smallest_eigenvectors",
+    "objective_matrix",
+    "pairwise_loss",
+    "sign_normalize",
+]
+
+
+def sign_normalize(V: np.ndarray) -> np.ndarray:
+    """Fix eigenvector signs deterministically.
+
+    Each column is flipped so its largest-magnitude entry is positive,
+    making learned transforms reproducible across LAPACK builds and runs.
+    """
+    V = np.array(V, dtype=np.float64, copy=True)
+    for j in range(V.shape[1]):
+        pivot = np.argmax(np.abs(V[:, j]))
+        if V[pivot, j] < 0:
+            V[:, j] = -V[:, j]
+    return V
+
+
+def smallest_eigenvectors(
+    M,
+    d: int,
+    *,
+    B=None,
+    solver: str = "auto",
+    sparse_threshold: int = 2000,
+):
+    """Eigenvectors of the ``d`` smallest eigenvalues of a symmetric matrix.
+
+    Parameters
+    ----------
+    M:
+        Symmetric (dense or sparse) matrix of shape ``(k, k)``.
+    d:
+        Number of eigenpairs, ``1 <= d <= k``.
+    B:
+        Optional symmetric positive-definite matrix for the *generalized*
+        problem ``M v = λ B v`` (used by PFR's ``ZZᵀ = I`` constraint mode,
+        where ``B = Xᵀ X``). Forces the dense solver. Eigenvectors are
+        B-orthonormal (``VᵀBV = I``).
+    solver:
+        ``"dense"`` — LAPACK ``eigh`` with eigenvalue-index subsetting (the
+        paper's choice); ``"sparse"`` — Lanczos ``eigsh`` with shift to make
+        the PSD spectrum definite; ``"auto"`` picks sparse for large sparse
+        inputs, dense otherwise.
+    sparse_threshold:
+        Matrix size above which ``"auto"`` prefers the Lanczos path for
+        sparse inputs.
+
+    Returns
+    -------
+    eigenvalues : ndarray of shape (d,)
+        Ascending eigenvalues.
+    eigenvectors : ndarray of shape (k, d)
+        Orthonormal (B-orthonormal in the generalized case), sign-normalized
+        eigenvectors (columns).
+    """
+    k = M.shape[0]
+    if M.shape[0] != M.shape[1]:
+        raise ValidationError(f"M must be square; got shape {M.shape}")
+    if not 1 <= d <= k:
+        raise ValidationError(f"d must be in [1, {k}]; got {d}")
+    if solver not in ("auto", "dense", "sparse"):
+        raise ValidationError(f"unknown solver {solver!r}")
+
+    if B is not None:
+        dense_m = M.toarray() if sp.issparse(M) else np.asarray(M, dtype=np.float64)
+        dense_b = B.toarray() if sp.issparse(B) else np.asarray(B, dtype=np.float64)
+        if dense_b.shape != dense_m.shape:
+            raise ValidationError(
+                f"B must match M's shape {dense_m.shape}; got {dense_b.shape}"
+            )
+        dense_m = 0.5 * (dense_m + dense_m.T)
+        dense_b = 0.5 * (dense_b + dense_b.T)
+        eigenvalues, eigenvectors = scipy.linalg.eigh(
+            dense_m, dense_b, subset_by_index=(0, d - 1)
+        )
+        return eigenvalues, sign_normalize(eigenvectors)
+
+    if solver == "auto":
+        use_sparse = sp.issparse(M) and k > sparse_threshold and d < k // 2
+        solver = "sparse" if use_sparse else "dense"
+
+    if solver == "dense":
+        dense = M.toarray() if sp.issparse(M) else np.asarray(M, dtype=np.float64)
+        dense = check_symmetric(0.5 * (dense + dense.T), name="M")
+        eigenvalues, eigenvectors = scipy.linalg.eigh(
+            dense, subset_by_index=(0, d - 1)
+        )
+    else:
+        if d >= k - 1:
+            # Lanczos cannot return nearly-all eigenpairs; fall back to dense.
+            return smallest_eigenvectors(M, d, solver="dense")
+        matrix = M.tocsc() if sp.issparse(M) else sp.csc_matrix(M)
+        # Shift the PSD spectrum so smallest-magnitude = smallest-algebraic
+        # and the operator is well-conditioned for Lanczos.
+        shift = abs(matrix).sum(axis=None) / matrix.shape[0] + 1.0
+        shifted = matrix + shift * sp.identity(k, format="csc")
+        eigenvalues, eigenvectors = spla.eigsh(shifted, k=d, which="SA")
+        eigenvalues = eigenvalues - shift
+        order = np.argsort(eigenvalues)
+        eigenvalues = eigenvalues[order]
+        eigenvectors = eigenvectors[:, order]
+
+    return eigenvalues, sign_normalize(eigenvectors)
+
+
+def objective_matrix(X, L) -> np.ndarray:
+    """Assemble the PFR objective matrix ``Xᵀ L X`` (row-sample convention).
+
+    ``X`` has shape ``(n, m)`` and ``L`` shape ``(n, n)``; the result is the
+    dense symmetric ``(m, m)`` matrix of Equation 7.
+    """
+    X = check_array(X, name="X")
+    if L.shape[0] != X.shape[0]:
+        raise ValidationError(
+            f"L has {L.shape[0]} nodes but X has {X.shape[0]} samples"
+        )
+    L = sp.csr_matrix(L)
+    M = X.T @ (L @ X)
+    return 0.5 * (M + M.T)
+
+
+def pairwise_loss(Z, W) -> float:
+    """Pairwise embedding loss ``Σ_ij ||z_i - z_j||² W_ij`` (Equations 3–4).
+
+    Evaluated through the Laplacian identity ``2·Tr(Zᵀ L Z)``, which is
+    O(nnz·d) instead of O(n²·d).
+    """
+    Z = np.asarray(Z, dtype=np.float64)
+    if Z.ndim == 1:
+        Z = Z[:, None]
+    W = sp.csr_matrix(W)
+    if W.shape[0] != Z.shape[0]:
+        raise ValidationError(
+            f"W has {W.shape[0]} nodes but Z has {Z.shape[0]} rows"
+        )
+    degrees = np.asarray(W.sum(axis=0)).ravel()
+    # Tr(Zᵀ L Z) = Σ_i d_i ||z_i||² - Σ_ij W_ij z_i·z_j
+    sq_norms = np.sum(Z * Z, axis=1)
+    cross = float(np.sum((W @ Z) * Z))
+    return float(2.0 * (degrees @ sq_norms - cross))

@@ -1,0 +1,120 @@
+"""Simulated niche.com-style star ratings (paper §4.3.1, Crime workload).
+
+The paper elicits equivalence-class judgments for neighborhoods from
+1-to-5-star "crime & safety" reviews by residents, collected from
+niche.com for ~1500 of ~2000 communities. That scrape is not reproducible
+offline, so :func:`simulate_star_ratings` generates review sets with the
+properties the paper describes and relies on:
+
+* many subjective reviews per community, aggregated to a mean rating;
+* ratings anti-correlated with true violence (safe places rate higher);
+* a positivity bias for protected communities — "the fairness graph may be
+  biased in favor of the African-American neighbourhoods, since residents
+  tend to have positive perception of their neighborhood's safety";
+* partial coverage (≈75 % of communities have reviews), which keeps the
+  fairness graph sparse.
+
+:func:`rating_equivalence_classes` then rounds mean ratings into discrete
+classes — the equivalence classes of Definition 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_random_state, column_or_1d
+from ..exceptions import DatasetError
+
+__all__ = ["simulate_star_ratings", "rating_equivalence_classes"]
+
+
+def simulate_star_ratings(
+    violence_score,
+    protected,
+    *,
+    coverage: float = 0.75,
+    mean_reviews: float = 8.0,
+    protected_bias: float = 0.35,
+    noise: float = 0.45,
+    seed=0,
+):
+    """Simulate aggregated 1-5 star safety ratings per community.
+
+    Parameters
+    ----------
+    violence_score:
+        Latent violence intensity per community (higher = more violent);
+        any real-valued array, internally rank-normalized.
+    protected:
+        Boolean/0-1 array marking protected communities.
+    coverage:
+        Fraction of communities with at least one review.
+    mean_reviews:
+        Poisson mean of the per-community review count.
+    protected_bias:
+        Additive positivity bias (in stars) for protected communities.
+    noise:
+        Reviewer disagreement (standard deviation, in stars).
+    seed:
+        Generator seed.
+
+    Returns
+    -------
+    mean_ratings : ndarray
+        Mean star rating per community; NaN where no reviews exist.
+    n_reviews : ndarray of int
+        Review counts (0 where uncovered).
+    """
+    violence = column_or_1d(violence_score, name="violence_score", dtype=np.float64)
+    protected = column_or_1d(protected, name="protected").astype(bool)
+    if len(violence) != len(protected):
+        raise DatasetError("violence_score and protected must align")
+    if not 0.0 < coverage <= 1.0:
+        raise DatasetError(f"coverage must be in (0, 1]; got {coverage}")
+    if mean_reviews <= 0:
+        raise DatasetError(f"mean_reviews must be positive; got {mean_reviews}")
+
+    rng = check_random_state(seed)
+    n = len(violence)
+
+    # Rank-normalize violence to [0, 1] so the mapping to stars is robust
+    # to the scale of the latent score.
+    order = np.argsort(np.argsort(violence))
+    violence_unit = order / max(n - 1, 1)
+
+    # Safety perception: 4.5 stars for the safest, 1.5 for the most violent,
+    # plus the resident positivity bias for protected communities.
+    true_mean = 4.5 - 3.0 * violence_unit + protected_bias * protected
+    covered = rng.random(n) < coverage
+    n_reviews = np.where(covered, rng.poisson(mean_reviews, size=n) + 1, 0)
+
+    mean_ratings = np.full(n, np.nan)
+    for i in np.flatnonzero(covered):
+        reviews = true_mean[i] + rng.normal(0.0, noise, size=n_reviews[i])
+        reviews = np.clip(np.round(reviews), 1, 5)
+        mean_ratings[i] = float(reviews.mean())
+    return mean_ratings, n_reviews
+
+
+def rating_equivalence_classes(mean_ratings, *, resolution: float = 1.0) -> np.ndarray:
+    """Discretize mean ratings into equivalence classes (Definition 1).
+
+    Parameters
+    ----------
+    mean_ratings:
+        Mean star ratings; NaN = no judgment (no equivalence class).
+    resolution:
+        Class width in stars (1.0 = whole stars, 0.5 = half stars).
+
+    Returns
+    -------
+    ndarray of int64
+        Class index per community; -1 marks communities without reviews.
+    """
+    ratings = column_or_1d(mean_ratings, name="mean_ratings", dtype=np.float64)
+    if resolution <= 0:
+        raise DatasetError(f"resolution must be positive; got {resolution}")
+    classes = np.full(len(ratings), -1, dtype=np.int64)
+    observed = ~np.isnan(ratings)
+    classes[observed] = np.round(ratings[observed] / resolution).astype(np.int64)
+    return classes

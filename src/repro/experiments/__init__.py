@@ -1,0 +1,73 @@
+"""Experiment harness and per-figure reproduction drivers (paper §4)."""
+
+from .builders import build_fairness_graph, fairness_side_scores
+from .config import EXPERIMENTS, ExperimentSpec, get_experiment
+from .figures import (
+    DEFAULT_GAMMAS,
+    REAL_METHODS,
+    SYNTHETIC_METHODS,
+    FigureResult,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table1,
+)
+from .harness import ExperimentHarness, MethodResult, within_group_ranking_scores
+from .pareto import pareto_front, tradeoff_frontier
+from .repetition import AggregateResult, repeat_method, repeat_methods
+from .tuning import apply_tuned, default_grid, tune_methods
+from .report import (
+    render_bars,
+    render_decision_field,
+    render_grouped_bars,
+    render_scatter,
+    render_series,
+    render_table,
+)
+
+__all__ = [
+    "build_fairness_graph",
+    "fairness_side_scores",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "get_experiment",
+    "DEFAULT_GAMMAS",
+    "REAL_METHODS",
+    "SYNTHETIC_METHODS",
+    "FigureResult",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "table1",
+    "ExperimentHarness",
+    "MethodResult",
+    "within_group_ranking_scores",
+    "apply_tuned",
+    "default_grid",
+    "tune_methods",
+    "pareto_front",
+    "tradeoff_frontier",
+    "AggregateResult",
+    "repeat_method",
+    "repeat_methods",
+    "render_bars",
+    "render_decision_field",
+    "render_grouped_bars",
+    "render_scatter",
+    "render_series",
+    "render_table",
+]

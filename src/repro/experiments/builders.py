@@ -1,0 +1,105 @@
+"""Public fairness-graph construction for the three workloads.
+
+The experiment harness needs a ``WF`` per workload; downstream users need
+exactly the same logic without instantiating a harness. This module is that
+shared, documented entry point:
+
+* **synthetic** — within-group logistic-regression rankings pooled into
+  quantiles (§4.2.1);
+* **compas** — Northpointe-style decile scores pooled into within-group
+  quantiles (§4.3.1, incomparable groups);
+* **crime** — resident star ratings rounded into equivalence classes
+  (§4.3.1, comparable individuals).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..datasets.base import Dataset
+from ..datasets.ratings import rating_equivalence_classes
+from ..exceptions import ValidationError
+from ..graphs import between_group_quantile_graph, equivalence_class_graph
+from ..ml import LogisticRegression, StandardScaler
+
+__all__ = ["build_fairness_graph", "fairness_side_scores"]
+
+
+def fairness_side_scores(dataset: Dataset, *, train_indices=None) -> np.ndarray:
+    """Per-individual side information behind the workload's fairness graph.
+
+    For workloads that ship side information (COMPAS decile scores, Crime
+    mean ratings) this simply returns it. For the synthetic workload the
+    paper derives scores at runtime: a logistic-regression ranker is fitted
+    *per group* — on the ``train_indices`` rows when given, to keep test
+    labels out of the judgments — and every individual is scored by their
+    within-group model.
+    """
+    if dataset.side_information is not None:
+        return np.asarray(dataset.side_information, dtype=np.float64)
+
+    X_plain = dataset.nonprotected_view()
+    fit_rows = (
+        np.asarray(train_indices, dtype=np.int64)
+        if train_indices is not None
+        else np.arange(dataset.n_samples)
+    )
+    scaler = StandardScaler().fit(X_plain[fit_rows])
+    X_scaled = scaler.transform(X_plain)
+    scores = np.empty(dataset.n_samples, dtype=np.float64)
+    for value in np.unique(dataset.s):
+        members = np.flatnonzero(dataset.s == value)
+        train_members = np.intersect1d(members, fit_rows)
+        if len(train_members) < 2:
+            raise ValidationError(
+                f"group {value!r} has fewer than 2 training individuals"
+            )
+        model = LogisticRegression().fit(
+            X_scaled[train_members], dataset.y[train_members]
+        )
+        scores[members] = model.predict_proba(X_scaled[members])[:, 1]
+    return scores
+
+
+def build_fairness_graph(
+    dataset: Dataset,
+    *,
+    n_quantiles: int = 10,
+    rating_resolution: float = 1.0,
+    train_indices=None,
+    scores=None,
+) -> sp.csr_matrix:
+    """Workload-appropriate fairness graph ``WF`` over the full population.
+
+    Parameters
+    ----------
+    dataset:
+        One of the three workloads (dispatches on ``dataset.name``:
+        ``"crime"`` uses the equivalence-class construction, everything
+        else the between-group quantile construction).
+    n_quantiles:
+        Quantile count for the quantile graph.
+    rating_resolution:
+        Star-class width for the Crime equivalence classes.
+    train_indices:
+        Rows allowed to influence runtime-derived scores (synthetic).
+    scores:
+        Precomputed side scores (skips :func:`fairness_side_scores`).
+
+    Returns
+    -------
+    scipy.sparse.csr_matrix
+        Binary symmetric adjacency; individuals without side information
+        are isolated.
+    """
+    if scores is None:
+        scores = fairness_side_scores(dataset, train_indices=train_indices)
+    scores = np.asarray(scores, dtype=np.float64)
+    observed = ~np.isnan(scores)
+    if dataset.name == "crime":
+        classes = rating_equivalence_classes(scores, resolution=rating_resolution)
+        return equivalence_class_graph(classes, mask=observed)
+    return between_group_quantile_graph(
+        scores, dataset.s, n_quantiles=n_quantiles, mask=observed
+    )

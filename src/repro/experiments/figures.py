@@ -1,0 +1,450 @@
+"""Drivers that regenerate every table and figure of the paper (§4).
+
+Each ``figure*``/``table1`` function runs the corresponding experiment and
+returns a :class:`FigureResult` whose ``data`` holds the exact series the
+paper plots and whose ``text`` is an ASCII rendering. Dataset sizes default
+to the paper's (Table 1) and can be scaled down with ``scale`` for quick
+runs; all functions are deterministic in ``seed``.
+
+Figure → experiment map (see DESIGN.md §4 for the full index):
+
+* ``table1``  — dataset statistics.
+* ``figure1`` — learned 2-D representations on the synthetic workload.
+* ``figure2`` — synthetic utility vs. individual fairness bars.
+* ``figure3`` — synthetic group fairness (positive rates, error rates).
+* ``figure4`` — synthetic γ sweep.
+* ``figure5``–``figure7`` — Crime & Communities counterparts.
+* ``figure8``–``figure10`` — COMPAS counterparts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets import simulate_admissions, simulate_compas, simulate_crime
+from ..exceptions import ValidationError
+from .harness import ExperimentHarness
+from .report import (
+    render_bars,
+    render_decision_field,
+    render_grouped_bars,
+    render_series,
+    render_table,
+)
+
+__all__ = [
+    "FigureResult",
+    "table1",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "SYNTHETIC_METHODS",
+    "REAL_METHODS",
+    "DEFAULT_GAMMAS",
+]
+
+SYNTHETIC_METHODS = ("original", "ifair", "lfr", "pfr")
+REAL_METHODS = ("original+", "ifair+", "lfr+", "pfr")
+DEFAULT_GAMMAS = (0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0)
+
+
+@dataclass
+class FigureResult:
+    """One regenerated table/figure: structured series + ASCII rendering."""
+
+    figure_id: str
+    description: str
+    data: dict = field(repr=False)
+    text: str = field(repr=False)
+
+    def render(self) -> str:
+        """Human-readable reproduction of the figure."""
+        header = f"== {self.figure_id}: {self.description} =="
+        return f"{header}\n{self.text}"
+
+
+def _scaled(count: int, scale: float) -> int:
+    if not 0.0 < scale <= 1.0:
+        raise ValidationError(f"scale must be in (0, 1]; got {scale}")
+    return max(20, int(round(count * scale)))
+
+
+def _make_dataset(name: str, *, seed: int, scale: float):
+    if name == "synthetic":
+        return simulate_admissions(_scaled(300, scale), seed=seed)
+    if name == "crime":
+        return simulate_crime(_scaled(1423, scale), _scaled(570, scale), seed=seed)
+    if name == "compas":
+        return simulate_compas(_scaled(4218, scale), _scaled(4585, scale), seed=seed)
+    raise ValidationError(f"unknown dataset {name!r}")
+
+
+def _harness(name: str, *, seed: int, scale: float, **kwargs) -> ExperimentHarness:
+    # Operating points found by the tuning protocol (harness.tune) on the
+    # default seeds; the γ-sweep figures override gamma explicitly. The LFR
+    # parity weight is lowered on the real workloads — the library default
+    # (Zemel et al.'s a_z=50) collapses its predictions there, producing
+    # trivially-high consistency with near-random AUC.
+    defaults = {
+        "synthetic": {"n_components": 2},
+        "crime": {
+            "n_components": 2,
+            "method_overrides": {"lfr": {"a_z": 1.0, "a_x": 0.1}},
+        },
+        "compas": {"n_components": 3, "method_overrides": {"lfr": {"a_z": 1.0}}},
+    }[name]
+    merged = {**defaults, **kwargs}
+    return ExperimentHarness(_make_dataset(name, seed=seed, scale=scale),
+                             seed=seed, **merged)
+
+
+_DATASET_GAMMA = {"synthetic": 0.9, "crime": 1.0, "compas": 1.0}
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — dataset statistics
+# ---------------------------------------------------------------------------
+
+def table1(*, seed: int = 0, scale: float = 1.0) -> FigureResult:
+    """Regenerate Table 1: per-dataset sizes and base rates."""
+    rows = []
+    for name in ("synthetic", "crime", "compas"):
+        row = _make_dataset(name, seed=seed, scale=scale).table1_row()
+        rows.append(
+            [
+                row["dataset"],
+                row["n"],
+                row["n_s0"],
+                row["n_s1"],
+                row["base_rate_s0"],
+                row["base_rate_s1"],
+            ]
+        )
+    text = render_table(
+        ["Dataset", "|X|", "|X_s=0|", "|X_s=1|", "Base-rate s=0", "Base-rate s=1"],
+        rows,
+        float_format="{:.2f}",
+    )
+    return FigureResult(
+        figure_id="table1",
+        description="Experimental setting and statistics of the datasets",
+        data={"rows": rows},
+        text=text,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — learned representations on the synthetic dataset
+# ---------------------------------------------------------------------------
+
+def _representation_geometry(Z, y, s) -> dict:
+    """Summary statistics of a 2-D representation (Figure 1's visual claims).
+
+    * ``cross_group_distance``: mean distance between groups, normalized by
+      the mean within-group distance — 1.0 means groups are fully mixed.
+    * ``deserving_alignment``: same ratio computed only over positive-class
+      ("deserving") individuals — PFR's distinguishing property is a value
+      near 1.0 here.
+    """
+    Z = np.asarray(Z, dtype=np.float64)
+    spread = Z.std(axis=0)
+    spread[spread == 0] = 1.0
+    Zn = Z / spread
+
+    def mean_cross(a, b):
+        if len(a) == 0 or len(b) == 0:
+            return float("nan")
+        diff = a[:, None, :] - b[None, :, :]
+        return float(np.sqrt((diff**2).sum(axis=2)).mean())
+
+    g0, g1 = Zn[s == 0], Zn[s == 1]
+    within = 0.5 * (mean_cross(g0, g0) + mean_cross(g1, g1))
+    cross = mean_cross(g0, g1)
+    d0, d1 = Zn[(s == 0) & (y == 1)], Zn[(s == 1) & (y == 1)]
+    within_deserving = 0.5 * (mean_cross(d0, d0) + mean_cross(d1, d1))
+    cross_deserving = mean_cross(d0, d1)
+    return {
+        "cross_group_distance": cross / within,
+        "deserving_alignment": cross_deserving / within_deserving,
+    }
+
+
+def figure1(*, seed: int = 0, scale: float = 1.0) -> FigureResult:
+    """Regenerate Figure 1: 2-D representations of the synthetic data.
+
+    Returns per-method 2-D embeddings, the geometry statistics that encode
+    the paper's three visual observations, and ASCII plots of the test
+    points over each representation's logistic-regression decision field
+    (the contours of the paper's panels b-d).
+    """
+    from ..ml import LogisticRegression, StandardScaler
+
+    harness = _harness(
+        "synthetic", seed=seed, scale=scale, n_components=2
+    ).prepare()
+
+    representations, geometry, plots = {}, {}, {}
+    y, s = harness.y_test, harness.s_test
+    categories = np.array(
+        [f"s{int(g)}{'+' if label == 1 else 'o'}" for g, label in zip(s, y)]
+    )
+    for method in SYNTHETIC_METHODS:
+        Z_train, Z_test = harness._representation(
+            method, gamma=_DATASET_GAMMA["synthetic"], method_params={}
+        )
+        scaler = StandardScaler().fit(Z_train[:, :2])
+        Z2_train = scaler.transform(Z_train[:, :2])
+        Z2 = scaler.transform(Z_test[:, :2])
+        classifier = LogisticRegression().fit(Z2_train, harness.y_train)
+        representations[method] = Z2
+        geometry[method] = _representation_geometry(Z2, y, s)
+        plots[method] = render_decision_field(
+            Z2, categories, lambda grid, c=classifier: c.predict_proba(grid)[:, 1]
+        )
+
+    rows = [
+        [
+            method,
+            geometry[method]["cross_group_distance"],
+            geometry[method]["deserving_alignment"],
+        ]
+        for method in SYNTHETIC_METHODS
+    ]
+    table = render_table(
+        ["Method", "cross-group dist (↓1=mixed)", "deserving alignment (↓1=aligned)"],
+        rows,
+    )
+    text = table + "\n\n" + "\n\n".join(
+        f"[{method}]\n{plots[method]}" for method in SYNTHETIC_METHODS
+    )
+    return FigureResult(
+        figure_id="figure1",
+        description="Learned representations on the synthetic dataset (d=2)",
+        data={
+            "representations": representations,
+            "geometry": geometry,
+            "y": y,
+            "s": s,
+        },
+        text=text,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shared drivers for the bar/grouped-bar/sweep figure families
+# ---------------------------------------------------------------------------
+
+def _tradeoff_figure(
+    figure_id: str,
+    dataset: str,
+    methods,
+    *,
+    seed: int,
+    scale: float,
+    gamma: float | None = None,
+) -> FigureResult:
+    """Utility-vs-individual-fairness bars (Figures 2, 5, 8)."""
+    gamma = _DATASET_GAMMA[dataset] if gamma is None else gamma
+    harness = _harness(dataset, seed=seed, scale=scale)
+    results = harness.run_methods(methods, gamma=gamma)
+
+    rows = [
+        [m, r.auc, r.consistency_wx, r.consistency_wf]
+        for m, r in results.items()
+    ]
+    table = render_table(
+        ["Method", "AUC", "Consistency(WX)", "Consistency(WF)"], rows
+    )
+    bars = "\n\n".join(
+        f"[{title}]\n"
+        + render_bars(list(results), [getattr(r, attr) for r in results.values()],
+                      vmax=1.0)
+        for title, attr in (
+            ("AUC", "auc"),
+            ("Consistency(WX)", "consistency_wx"),
+            ("Consistency(WF)", "consistency_wf"),
+        )
+    )
+    return FigureResult(
+        figure_id=figure_id,
+        description=f"{dataset}: utility vs. individual fairness",
+        data={"results": results, "gamma": gamma},
+        text=table + "\n\n" + bars,
+    )
+
+
+def _group_fairness_figure(
+    figure_id: str,
+    dataset: str,
+    methods,
+    *,
+    seed: int,
+    scale: float,
+    gamma: float | None = None,
+) -> FigureResult:
+    """Per-group positive rates and error rates (Figures 3, 6, 9)."""
+    gamma = _DATASET_GAMMA[dataset] if gamma is None else gamma
+    harness = _harness(dataset, seed=seed, scale=scale)
+    results = harness.run_methods(methods, gamma=gamma)
+
+    rows = []
+    for method, r in results.items():
+        rows.append(
+            [
+                method,
+                r.rates.positive_rate[0],
+                r.rates.positive_rate[1],
+                r.rates.fpr[0],
+                r.rates.fpr[1],
+                r.rates.fnr[0],
+                r.rates.fnr[1],
+            ]
+        )
+    table = render_table(
+        ["Method", "P(ŷ=1)|s=0", "P(ŷ=1)|s=1", "FPR|s=0", "FPR|s=1",
+         "FNR|s=0", "FNR|s=1"],
+        rows,
+    )
+    blocks = []
+    for method, r in results.items():
+        block = render_grouped_bars(
+            ["P(ŷ=1)", "FPR", "FNR"],
+            {
+                "s=0": [r.rates.positive_rate[0], r.rates.fpr[0], r.rates.fnr[0]],
+                "s=1": [r.rates.positive_rate[1], r.rates.fpr[1], r.rates.fnr[1]],
+            },
+            vmax=1.0,
+        )
+        blocks.append(f"[{method}]\n{block}")
+    return FigureResult(
+        figure_id=figure_id,
+        description=f"{dataset}: group fairness (positive rates and error rates)",
+        data={"results": results, "gamma": gamma},
+        text=table + "\n\n" + "\n\n".join(blocks),
+    )
+
+
+def _gamma_sweep_figure(
+    figure_id: str,
+    dataset: str,
+    *,
+    seed: int,
+    scale: float,
+    gammas,
+) -> FigureResult:
+    """γ-sweep of PFR (Figures 4, 7, 10)."""
+    harness = _harness(dataset, seed=seed, scale=scale)
+    sweep = harness.gamma_sweep(gammas, method="pfr")
+
+    series = {
+        "consistency_wf": [r.consistency_wf for r in sweep],
+        "consistency_wx": [r.consistency_wx for r in sweep],
+        "auc_any": [r.auc_by_group["any"] for r in sweep],
+        "auc_s0": [r.auc_by_group.get(0, float("nan")) for r in sweep],
+        "auc_s1": [r.auc_by_group.get(1, float("nan")) for r in sweep],
+    }
+    rows = [
+        [g, cwf, cwx, a_any, a0, a1]
+        for g, cwf, cwx, a_any, a0, a1 in zip(
+            gammas,
+            series["consistency_wf"],
+            series["consistency_wx"],
+            series["auc_any"],
+            series["auc_s0"],
+            series["auc_s1"],
+        )
+    ]
+    table = render_table(
+        ["gamma", "Consistency(WF)", "Consistency(WX)", "AUC any", "AUC s=0",
+         "AUC s=1"],
+        rows,
+    )
+    charts = "\n\n".join(
+        render_series(list(gammas), {name: series[name]}, x_label="gamma")
+        for name in ("consistency_wf", "consistency_wx")
+    )
+    auc_chart = render_series(
+        list(gammas),
+        {k: series[k] for k in ("auc_any", "auc_s0", "auc_s1")},
+        x_label="gamma",
+    )
+    return FigureResult(
+        figure_id=figure_id,
+        description=f"{dataset}: influence of gamma on fairness and utility",
+        data={"gammas": list(gammas), "series": series, "sweep": sweep},
+        text=table + "\n\n" + charts + "\n\n" + auc_chart,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The paper's figures
+# ---------------------------------------------------------------------------
+
+def figure2(*, seed: int = 0, scale: float = 1.0) -> FigureResult:
+    """Synthetic: AUC / Consistency(WX) / Consistency(WF) per method."""
+    return _tradeoff_figure("figure2", "synthetic", SYNTHETIC_METHODS,
+                            seed=seed, scale=scale)
+
+
+def figure3(*, seed: int = 0, scale: float = 1.0) -> FigureResult:
+    """Synthetic: per-group positive-prediction and error rates (incl. Hardt)."""
+    return _group_fairness_figure(
+        "figure3", "synthetic", SYNTHETIC_METHODS + ("hardt",),
+        seed=seed, scale=scale,
+    )
+
+
+def figure4(*, seed: int = 0, scale: float = 1.0,
+            gammas=DEFAULT_GAMMAS) -> FigureResult:
+    """Synthetic: γ sweep."""
+    return _gamma_sweep_figure("figure4", "synthetic", seed=seed, scale=scale,
+                               gammas=gammas)
+
+
+def figure5(*, seed: int = 0, scale: float = 1.0) -> FigureResult:
+    """Crime & Communities: utility vs. individual fairness (augmented baselines)."""
+    return _tradeoff_figure("figure5", "crime", REAL_METHODS,
+                            seed=seed, scale=scale)
+
+
+def figure6(*, seed: int = 0, scale: float = 1.0) -> FigureResult:
+    """Crime & Communities: group fairness (incl. Hardt+)."""
+    return _group_fairness_figure(
+        "figure6", "crime", REAL_METHODS + ("hardt+",), seed=seed, scale=scale
+    )
+
+
+def figure7(*, seed: int = 0, scale: float = 1.0,
+            gammas=DEFAULT_GAMMAS) -> FigureResult:
+    """Crime & Communities: γ sweep."""
+    return _gamma_sweep_figure("figure7", "crime", seed=seed, scale=scale,
+                               gammas=gammas)
+
+
+def figure8(*, seed: int = 0, scale: float = 1.0) -> FigureResult:
+    """COMPAS: utility vs. individual fairness (augmented baselines)."""
+    return _tradeoff_figure("figure8", "compas", REAL_METHODS,
+                            seed=seed, scale=scale)
+
+
+def figure9(*, seed: int = 0, scale: float = 1.0) -> FigureResult:
+    """COMPAS: group fairness (incl. Hardt+)."""
+    return _group_fairness_figure(
+        "figure9", "compas", REAL_METHODS + ("hardt+",), seed=seed, scale=scale
+    )
+
+
+def figure10(*, seed: int = 0, scale: float = 1.0,
+             gammas=DEFAULT_GAMMAS) -> FigureResult:
+    """COMPAS: γ sweep."""
+    return _gamma_sweep_figure("figure10", "compas", seed=seed, scale=scale,
+                               gammas=gammas)

@@ -1,0 +1,121 @@
+"""Best-achievable trade-offs (the lens of Figures 2/5/8).
+
+The paper reports "the best achievable trade-off between utility and the
+two notions of individual fairness" — i.e. points on the Pareto frontier
+of (AUC, Consistency). This module computes frontiers from any collection
+of :class:`~repro.experiments.harness.MethodResult` objects and sweeps a
+method's hyper-parameters to trace its frontier explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..ml.model_selection import ParameterGrid
+from .harness import ExperimentHarness, MethodResult
+
+__all__ = ["pareto_front", "tradeoff_frontier"]
+
+
+def pareto_front(points, *, maximize=(True, True)) -> list:
+    """Indices of the Pareto-optimal points.
+
+    Parameters
+    ----------
+    points:
+        Iterable of equal-length numeric tuples (one objective per slot).
+    maximize:
+        Per-objective direction; ``True`` = larger is better.
+
+    Returns
+    -------
+    list of int
+        Indices of non-dominated points, in input order. A point is
+        dominated if some other point is at least as good in every
+        objective and strictly better in one.
+    """
+    array = np.asarray(list(points), dtype=np.float64)
+    if array.ndim != 2:
+        raise ValidationError(f"points must be 2-D; got shape {array.shape}")
+    if array.shape[1] != len(maximize):
+        raise ValidationError(
+            f"{array.shape[1]} objectives but {len(maximize)} directions"
+        )
+    if not np.all(np.isfinite(array)):
+        raise ValidationError("points contain NaN or infinity")
+
+    signs = np.where(np.asarray(maximize, dtype=bool), 1.0, -1.0)
+    oriented = array * signs
+
+    keep = []
+    for i in range(len(oriented)):
+        dominated = False
+        for j in range(len(oriented)):
+            if i == j:
+                continue
+            if np.all(oriented[j] >= oriented[i]) and np.any(
+                oriented[j] > oriented[i]
+            ):
+                dominated = True
+                break
+        if not dominated:
+            keep.append(i)
+    return keep
+
+
+def tradeoff_frontier(
+    harness: ExperimentHarness,
+    method: str = "pfr",
+    *,
+    grid=None,
+    objectives=("auc", "consistency_wf"),
+) -> dict:
+    """Sweep a method's hyper-parameters and extract its Pareto frontier.
+
+    Parameters
+    ----------
+    harness:
+        Prepared (or preparable) workload harness.
+    method:
+        Harness method name.
+    grid:
+        Parameter grid (``gamma`` and method kwargs); defaults to a γ grid.
+    objectives:
+        Two or more :class:`MethodResult` attribute names, all maximized.
+
+    Returns
+    -------
+    dict
+        ``"results"`` — every evaluated (params, MethodResult) pair;
+        ``"frontier"`` — the non-dominated subset, sorted by the first
+        objective.
+    """
+    harness.prepare()
+    if grid is None:
+        grid = {"gamma": [0.0, 0.25, 0.5, 0.75, 1.0]}
+    for objective in objectives:
+        if not hasattr(MethodResult, "__dataclass_fields__") or (
+            objective not in MethodResult.__dataclass_fields__
+        ):
+            raise ValidationError(
+                f"unknown objective {objective!r}; use MethodResult fields"
+            )
+
+    evaluated = []
+    for params in ParameterGrid(grid):
+        params = dict(params)
+        gamma = params.pop("gamma", 0.5)
+        result = harness.run_method(method, gamma=gamma, **params)
+        evaluated.append(({"gamma": gamma, **params}, result))
+
+    points = [
+        tuple(getattr(result, objective) for objective in objectives)
+        for _, result in evaluated
+    ]
+    frontier_idx = pareto_front(points, maximize=(True,) * len(objectives))
+    frontier = sorted(
+        (evaluated[i] for i in frontier_idx),
+        key=lambda pair: getattr(pair[1], objectives[0]),
+    )
+    return {"results": evaluated, "frontier": frontier}

@@ -1,0 +1,116 @@
+"""Cross-seed repetition: error bars for any experiment.
+
+Single-seed results can flatter or slander a method; this module re-runs a
+method (or a whole method set) across seeds — fresh data draw *and* fresh
+split per seed — and aggregates every scalar metric into mean ± std, the
+form reviewers expect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .harness import ExperimentHarness
+
+__all__ = ["AggregateResult", "repeat_method", "repeat_methods"]
+
+_METRICS = (
+    "auc",
+    "consistency_wx",
+    "consistency_wf",
+    "parity_gap",
+    "fpr_gap",
+    "fnr_gap",
+)
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """Mean ± std of every scalar metric across seeds."""
+
+    method: str
+    dataset: str
+    n_runs: int
+    mean: dict = field(repr=False)
+    std: dict = field(repr=False)
+
+    def format(self, metric: str) -> str:
+        """``"0.712 ± 0.013"`` for one metric."""
+        if metric not in self.mean:
+            raise ValidationError(
+                f"unknown metric {metric!r}; available: {sorted(self.mean)}"
+            )
+        return f"{self.mean[metric]:.3f} ± {self.std[metric]:.3f}"
+
+
+def _collect(results) -> AggregateResult:
+    rows = [r.summary() for r in results]
+    mean = {m: float(np.mean([row[m] for row in rows])) for m in _METRICS}
+    std = {m: float(np.std([row[m] for row in rows])) for m in _METRICS}
+    return AggregateResult(
+        method=results[0].method,
+        dataset=results[0].dataset,
+        n_runs=len(results),
+        mean=mean,
+        std=std,
+    )
+
+
+def repeat_method(
+    dataset_factory,
+    method: str,
+    *,
+    seeds=(0, 1, 2),
+    gamma: float = 0.5,
+    harness_kwargs: dict | None = None,
+    **method_params,
+) -> AggregateResult:
+    """Run one method across seeds and aggregate.
+
+    Parameters
+    ----------
+    dataset_factory:
+        ``f(seed) -> Dataset`` — a fresh data draw per seed (e.g.
+        ``lambda s: simulate_crime(498, 200, seed=s)``).
+    method:
+        Harness method name.
+    seeds:
+        Seeds; each seeds both the dataset and the harness split.
+    gamma, **method_params:
+        Forwarded to :meth:`ExperimentHarness.run_method`.
+    harness_kwargs:
+        Extra :class:`ExperimentHarness` constructor arguments.
+    """
+    if len(seeds) < 2:
+        raise ValidationError("repetition needs at least two seeds")
+    results = []
+    for seed in seeds:
+        harness = ExperimentHarness(
+            dataset_factory(seed), seed=seed, **(harness_kwargs or {})
+        )
+        results.append(harness.run_method(method, gamma=gamma, **method_params))
+    return _collect(results)
+
+
+def repeat_methods(
+    dataset_factory,
+    methods,
+    *,
+    seeds=(0, 1, 2),
+    gamma: float = 0.5,
+    harness_kwargs: dict | None = None,
+) -> dict:
+    """Aggregate several methods on the same per-seed datasets and splits."""
+    if len(seeds) < 2:
+        raise ValidationError("repetition needs at least two seeds")
+    per_method = {method: [] for method in methods}
+    for seed in seeds:
+        harness = ExperimentHarness(
+            dataset_factory(seed), seed=seed, **(harness_kwargs or {})
+        )
+        for method in methods:
+            per_method[method].append(harness.run_method(method, gamma=gamma))
+    return {method: _collect(results) for method, results in per_method.items()}

@@ -1,0 +1,56 @@
+"""Similarity and fairness graphs (paper §3.1–3.2).
+
+* :func:`knn_graph` builds the data-driven heat-kernel graph ``WX``.
+* :func:`equivalence_class_graph` and :func:`between_group_quantile_graph`
+  build the fairness graph ``WF`` for comparable and incomparable
+  individuals respectively.
+* :mod:`repro.graphs.laplacian` holds the Laplacian machinery the PFR
+  optimization consumes.
+"""
+
+from .elicitation import (
+    equivalence_classes_from_pairs,
+    likert_judgments,
+    noisy_pairwise_judgments,
+)
+from .fairness import (
+    between_group_quantile_graph,
+    equivalence_class_graph,
+    pairwise_judgment_graph,
+    subsample_edges,
+)
+from .knn import knn_graph, median_heuristic, pairwise_sq_distances
+from .laplacian import (
+    combine_laplacians,
+    degree_vector,
+    edge_count,
+    graph_density,
+    laplacian,
+    n_connected_components,
+)
+from .quantiles import quantile_bucket, within_group_quantiles
+from .stats import from_networkx, graph_summary, to_networkx
+
+__all__ = [
+    "equivalence_classes_from_pairs",
+    "likert_judgments",
+    "noisy_pairwise_judgments",
+    "between_group_quantile_graph",
+    "equivalence_class_graph",
+    "pairwise_judgment_graph",
+    "subsample_edges",
+    "knn_graph",
+    "median_heuristic",
+    "pairwise_sq_distances",
+    "combine_laplacians",
+    "degree_vector",
+    "edge_count",
+    "graph_density",
+    "laplacian",
+    "n_connected_components",
+    "quantile_bucket",
+    "within_group_quantiles",
+    "from_networkx",
+    "graph_summary",
+    "to_networkx",
+]

@@ -1,0 +1,205 @@
+"""Simulated human judgment elicitation (paper §3.2).
+
+The paper's fairness graphs are built from *elicited* human judgments:
+binary pairwise similarity verdicts, Likert-scale suitability ratings that
+induce equivalence classes, or within-group rankings. This module supplies
+the elicitation layer — including the imperfections real judges have — so
+experiments can study how judgment noise and coverage propagate into PFR:
+
+* :func:`likert_judgments` — "How suitable is A for the task (1..L)?"
+  with judge noise; the discrete answers are Definition 1 equivalence
+  classes.
+* :func:`noisy_pairwise_judgments` — "Is A similar to B?" binary verdicts
+  for a sampled set of pairs, with false-positive/false-negative judge
+  error, relative to a ground-truth equivalence structure.
+* :func:`equivalence_classes_from_pairs` — union-find closure: sparse
+  positive verdicts imply classes by transitivity, exactly how a practical
+  elicitation pipeline would consolidate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_random_state, column_or_1d
+from ..exceptions import GraphConstructionError
+
+__all__ = [
+    "likert_judgments",
+    "noisy_pairwise_judgments",
+    "equivalence_classes_from_pairs",
+]
+
+
+def likert_judgments(
+    suitability,
+    *,
+    n_levels: int = 5,
+    judge_noise: float = 0.0,
+    coverage: float = 1.0,
+    seed=None,
+) -> np.ndarray:
+    """Elicit Likert-scale suitability judgments (§3.2: "How suitable is A
+    for the given task (e.g., on a Likert scale)").
+
+    The latent suitability is rank-normalized, perturbed by judge noise,
+    and cut into ``n_levels`` equal quantile bands — the judge's discrete
+    answer. Individuals outside the covered sample get -1 (no judgment),
+    matching the paper's sparse-elicitation setting.
+
+    Parameters
+    ----------
+    suitability:
+        Latent task suitability per individual (any real scale).
+    n_levels:
+        Number of Likert levels L; answers are 1..L.
+    judge_noise:
+        Standard deviation of the perturbation applied to the
+        rank-normalized suitability (0 = perfectly reliable judge; 0.1
+        already swaps close candidates).
+    coverage:
+        Fraction of individuals the judges actually rate.
+    seed:
+        Randomness for noise and coverage sampling.
+
+    Returns
+    -------
+    ndarray of int64
+        Likert level 1..L per individual; -1 where no judgment was elicited.
+    """
+    values = column_or_1d(suitability, name="suitability", dtype=np.float64)
+    if n_levels < 2:
+        raise GraphConstructionError(f"n_levels must be >= 2; got {n_levels}")
+    if judge_noise < 0:
+        raise GraphConstructionError(f"judge_noise must be >= 0; got {judge_noise}")
+    if not 0.0 < coverage <= 1.0:
+        raise GraphConstructionError(f"coverage must be in (0, 1]; got {coverage}")
+    rng = check_random_state(seed)
+    n = len(values)
+
+    ranks = np.argsort(np.argsort(values)) / max(n - 1, 1)
+    perceived = ranks + rng.normal(0.0, judge_noise, size=n)
+    levels = np.clip(
+        np.floor(perceived * n_levels).astype(np.int64) + 1, 1, n_levels
+    )
+
+    covered = rng.random(n) < coverage
+    out = np.where(covered, levels, -1)
+    return out.astype(np.int64)
+
+
+def noisy_pairwise_judgments(
+    classes,
+    *,
+    n_pairs: int,
+    false_positive_rate: float = 0.0,
+    false_negative_rate: float = 0.0,
+    seed=None,
+):
+    """Elicit binary pairwise similarity verdicts with judge error.
+
+    Ground truth is an equivalence structure (``classes``); the elicitation
+    samples ``n_pairs`` random distinct pairs and asks the (imperfect)
+    judge "are these two equally deserving?".
+
+    Parameters
+    ----------
+    classes:
+        Ground-truth equivalence class per individual (-1 = no class; such
+        individuals always produce "not similar").
+    n_pairs:
+        Number of pairs shown to the judge.
+    false_positive_rate:
+        Probability of answering "similar" for a genuinely dissimilar pair.
+    false_negative_rate:
+        Probability of answering "not similar" for a genuinely similar pair.
+    seed:
+        Sampling and error randomness.
+
+    Returns
+    -------
+    positives : ndarray of shape (k, 2)
+        Pairs judged similar (the input to a fairness graph).
+    asked : ndarray of shape (n_pairs, 2)
+        All pairs shown to the judge (for auditing coverage).
+    """
+    classes = column_or_1d(classes, name="classes")
+    n = len(classes)
+    if n < 2:
+        raise GraphConstructionError("need at least two individuals")
+    if n_pairs < 1:
+        raise GraphConstructionError(f"n_pairs must be >= 1; got {n_pairs}")
+    for name, rate in (
+        ("false_positive_rate", false_positive_rate),
+        ("false_negative_rate", false_negative_rate),
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise GraphConstructionError(f"{name} must be in [0, 1]; got {rate}")
+    rng = check_random_state(seed)
+
+    left = rng.integers(0, n, size=n_pairs)
+    offset = rng.integers(1, n, size=n_pairs)
+    right = (left + offset) % n  # guaranteed distinct from left
+    asked = np.column_stack([left, right])
+
+    truly_similar = (
+        (classes[left] == classes[right]) & (classes[left] != -1)
+    )
+    flip = rng.random(n_pairs)
+    verdict = np.where(
+        truly_similar,
+        flip >= false_negative_rate,
+        flip < false_positive_rate,
+    )
+    return asked[verdict], asked
+
+
+def equivalence_classes_from_pairs(pairs, n: int) -> np.ndarray:
+    """Consolidate sparse positive verdicts into equivalence classes.
+
+    Judgments are transitive in intent ("equally deserving"), so the
+    connected components of the verdict graph are the elicited equivalence
+    classes — computed here with union-find.
+
+    Parameters
+    ----------
+    pairs:
+        Iterable of ``(i, j)`` pairs judged similar.
+    n:
+        Number of individuals.
+
+    Returns
+    -------
+    ndarray of int64
+        Class index per individual; singletons (never judged similar to
+        anyone) get -1.
+    """
+    pairs = np.asarray(list(pairs), dtype=np.int64).reshape(-1, 2)
+    if pairs.size and (pairs.min() < 0 or pairs.max() >= n):
+        raise GraphConstructionError(f"pair indices must be in [0, {n - 1}]")
+
+    parent = np.arange(n)
+
+    def find(i: int) -> int:
+        root = i
+        while parent[root] != root:
+            root = parent[root]
+        while parent[i] != root:  # path compression
+            parent[i], i = root, parent[i]
+        return root
+
+    for i, j in pairs:
+        ri, rj = find(int(i)), find(int(j))
+        if ri != rj:
+            parent[rj] = ri
+
+    roots = np.array([find(i) for i in range(n)])
+    classes = np.full(n, -1, dtype=np.int64)
+    root_values, counts = np.unique(roots, return_counts=True)
+    next_class = 0
+    for root, count in zip(root_values, counts):
+        if count < 2:
+            continue
+        classes[roots == root] = next_class
+        next_class += 1
+    return classes

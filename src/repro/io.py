@@ -1,0 +1,149 @@
+"""Model persistence without pickle.
+
+A deployed PFR system needs to ship two artifacts: the fitted
+representation map and the downstream classifier. This module serializes
+both to a single ``.npz`` file — plain numpy arrays plus a JSON header —
+so saved models are portable, inspectable, and safe to load (no arbitrary
+code execution, unlike pickle).
+
+Supported estimators: :class:`repro.core.PFR`,
+:class:`repro.core.KernelPFR`, :class:`repro.ml.LogisticRegression`, and
+:class:`repro.ml.StandardScaler`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ._validation import check_is_fitted
+from .core import PFR, KernelPFR
+from .exceptions import ValidationError
+from .ml import LogisticRegression, StandardScaler
+
+__all__ = ["save_model", "load_model"]
+
+_FORMAT_VERSION = 1
+
+# model type name -> (class, fitted attributes persisted as arrays)
+_REGISTRY = {
+    "PFR": (PFR, ("components_", "eigenvalues_", "n_features_in_")),
+    "KernelPFR": (
+        KernelPFR,
+        ("alphas_", "eigenvalues_", "X_fit_", "n_features_in_", "_fitted_bandwidth"),
+    ),
+    "LogisticRegression": (
+        LogisticRegression,
+        ("coef_", "intercept_", "classes_", "n_iter_"),
+    ),
+    "StandardScaler": (
+        StandardScaler,
+        ("mean_", "scale_", "n_features_in_"),
+    ),
+}
+
+_CHECK_ATTRIBUTE = {
+    "PFR": "components_",
+    "KernelPFR": "alphas_",
+    "LogisticRegression": "coef_",
+    "StandardScaler": "mean_",
+}
+
+
+def save_model(model, path) -> Path:
+    """Serialize a fitted estimator to ``path`` (.npz appended if missing).
+
+    Hyper-parameters are stored as a JSON header; fitted state as numpy
+    arrays. Raises :class:`ValidationError` for unsupported or unfitted
+    models.
+    """
+    type_name = type(model).__name__
+    if type_name not in _REGISTRY:
+        raise ValidationError(
+            f"cannot save a {type_name}; supported: {sorted(_REGISTRY)}"
+        )
+    check_is_fitted(model, _CHECK_ATTRIBUTE[type_name])
+    _, fitted_attributes = _REGISTRY[type_name]
+
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "model_type": type_name,
+        "params": _jsonable_params(model.get_params()),
+    }
+    arrays = {}
+    for name in fitted_attributes:
+        value = getattr(model, name, None)
+        if value is None:
+            arrays[f"_none__{name}"] = np.array(0)
+        else:
+            arrays[f"attr__{name}"] = np.asarray(value)
+
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    np.savez(path, header=np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    ), **arrays)
+    return path
+
+
+def load_model(path):
+    """Load an estimator saved by :func:`save_model`."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"model file not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            header = json.loads(bytes(archive["header"]).decode("utf-8"))
+        except (KeyError, json.JSONDecodeError) as exc:
+            raise ValidationError(f"{path} is not a repro model file: {exc}") from exc
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise ValidationError(
+                f"unsupported model format {header.get('format_version')!r}"
+            )
+        type_name = header.get("model_type")
+        if type_name not in _REGISTRY:
+            raise ValidationError(f"unknown model type {type_name!r}")
+        cls, fitted_attributes = _REGISTRY[type_name]
+
+        model = cls(**header["params"])
+        for name in fitted_attributes:
+            key = f"attr__{name}"
+            none_key = f"_none__{name}"
+            if none_key in archive:
+                setattr(model, name, None)
+                continue
+            value = archive[key]
+            setattr(model, name, _restore_scalar(value))
+    return model
+
+
+def _jsonable_params(params: dict) -> dict:
+    out = {}
+    for key, value in params.items():
+        if isinstance(value, np.ndarray):
+            value = value.tolist()
+        elif isinstance(value, (np.integer,)):
+            value = int(value)
+        elif isinstance(value, (np.floating,)):
+            value = float(value)
+        elif isinstance(value, tuple):
+            value = list(value)
+        if value is not None and not isinstance(
+            value, (bool, int, float, str, list)
+        ):
+            raise ValidationError(
+                f"hyper-parameter {key!r} of type {type(value).__name__} "
+                "cannot be serialized"
+            )
+        out[key] = value
+    return out
+
+
+def _restore_scalar(value: np.ndarray):
+    """0-d arrays come back as python scalars; everything else stays array."""
+    if value.ndim == 0:
+        return value.item()
+    return value

@@ -1,0 +1,77 @@
+"""Individual-fairness measures (paper §4.1).
+
+The paper quantifies individual fairness as the *consistency* of outcomes
+between individuals connected in a similarity graph ``W``:
+
+    Consistency = 1 - Σ_{i≠j} |ŷ_i - ŷ_j| · W_ij / Σ_{i≠j} W_ij
+
+evaluated against both the data graph ``WX`` and the fairness graph ``WF``.
+Consistency is 1 when every connected pair receives the same outcome and 0
+when every connected pair disagrees maximally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import check_symmetric, column_or_1d
+from ..exceptions import ValidationError
+
+__all__ = ["consistency", "restrict_graph"]
+
+
+def consistency(y_pred, W) -> float:
+    """Outcome consistency over the pairs connected in ``W``.
+
+    Parameters
+    ----------
+    y_pred:
+        Predicted outcomes per individual. Binary labels reproduce the
+        paper's measure; continuous scores in [0, 1] are also accepted
+        (soft consistency).
+    W:
+        Symmetric non-negative similarity adjacency of shape ``(n, n)``.
+
+    Returns
+    -------
+    float
+        Consistency in [0, 1]. By convention an *empty* graph yields 1.0
+        (no constraints to violate).
+    """
+    y = column_or_1d(y_pred, name="y_pred", dtype=np.float64)
+    if np.any(y < 0) or np.any(y > 1):
+        raise ValidationError("y_pred entries must lie in [0, 1]")
+    W = check_symmetric(W, name="W")
+    if W.shape[0] != len(y):
+        raise ValidationError(
+            f"W has {W.shape[0]} nodes but y_pred has {len(y)} entries"
+        )
+
+    W = sp.coo_matrix(W)
+    off_diag = W.row != W.col
+    weights = W.data[off_diag]
+    if weights.size == 0 or weights.sum() == 0:
+        return 1.0
+    if weights.min() < 0:
+        raise ValidationError("W must be non-negative")
+    disagreements = np.abs(y[W.row[off_diag]] - y[W.col[off_diag]])
+    return float(1.0 - (disagreements @ weights) / weights.sum())
+
+
+def restrict_graph(W, indices) -> sp.csr_matrix:
+    """Sub-graph of ``W`` induced by ``indices`` (e.g. the test split).
+
+    Consistency on held-out data is computed on the test×test block of a
+    graph built over the full dataset; this helper extracts that block
+    while preserving sparsity.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.ndim != 1:
+        raise ValidationError(f"indices must be 1-D; got shape {indices.shape}")
+    W = sp.csr_matrix(W)
+    if indices.size and (indices.min() < 0 or indices.max() >= W.shape[0]):
+        raise ValidationError(
+            f"indices must be in [0, {W.shape[0] - 1}]"
+        )
+    return W[indices][:, indices].tocsr()

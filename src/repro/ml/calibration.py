@@ -1,0 +1,131 @@
+"""Probability calibration (Platt scaling).
+
+COMPAS-style risk scores are consumed as probabilities, so calibration
+matters: the library's group-calibration metrics
+(:func:`repro.metrics.calibration_by_group`) diagnose miscalibration, and
+this module repairs it. :class:`PlattCalibrator` fits the classic sigmoid
+map ``p = σ(a·f + b)`` on held-out scores;
+:class:`CalibratedClassifier` wraps any fitted scorer with it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.optimize
+
+from .._validation import (
+    check_binary_labels,
+    check_consistent_length,
+    check_is_fitted,
+    column_or_1d,
+)
+from ..exceptions import ConvergenceError, ValidationError
+from .base import BaseEstimator
+from .linear import sigmoid
+
+__all__ = ["PlattCalibrator", "CalibratedClassifier"]
+
+
+class PlattCalibrator(BaseEstimator):
+    """Sigmoid (Platt) calibration of real-valued scores.
+
+    Fits ``P(y=1 | f) = σ(a·f + b)`` by maximum likelihood with the
+    Platt (1999) target smoothing that avoids overconfident endpoints:
+    positives are regressed toward ``(n₊+1)/(n₊+2)`` and negatives toward
+    ``1/(n₋+2)``.
+
+    Attributes
+    ----------
+    a_, b_ : float
+        The fitted slope and offset.
+    """
+
+    def __init__(self, max_iter: int = 200):
+        self.max_iter = max_iter
+
+    def fit(self, scores, y):
+        """Fit on held-out scores and binary labels."""
+        scores = column_or_1d(scores, name="scores", dtype=np.float64)
+        y = check_binary_labels(y)
+        check_consistent_length(scores, y)
+        if len(np.unique(y)) < 2:
+            raise ValidationError("calibration requires both classes present")
+
+        n_pos = int(np.sum(y == 1))
+        n_neg = len(y) - n_pos
+        target = np.where(
+            y == 1, (n_pos + 1.0) / (n_pos + 2.0), 1.0 / (n_neg + 2.0)
+        )
+
+        def objective(params):
+            a, b = params
+            p = np.clip(sigmoid(a * scores + b), 1e-12, 1 - 1e-12)
+            loss = -np.sum(target * np.log(p) + (1 - target) * np.log(1 - p))
+            residual = p - target
+            return loss, np.array(
+                [np.sum(residual * scores), np.sum(residual)]
+            )
+
+        result = scipy.optimize.minimize(
+            objective,
+            np.array([1.0, 0.0]),
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": self.max_iter},
+        )
+        if not np.all(np.isfinite(result.x)):
+            raise ConvergenceError(f"Platt scaling diverged: {result.message}")
+        self.a_ = float(result.x[0])
+        self.b_ = float(result.x[1])
+        return self
+
+    def predict_proba_positive(self, scores) -> np.ndarray:
+        """Calibrated ``P(y=1)`` for raw scores."""
+        check_is_fitted(self, "a_")
+        scores = column_or_1d(scores, name="scores", dtype=np.float64)
+        return sigmoid(self.a_ * scores + self.b_)
+
+
+class CalibratedClassifier(BaseEstimator):
+    """Wrap a fitted scorer with Platt calibration.
+
+    Parameters
+    ----------
+    base:
+        A fitted estimator exposing ``decision_function`` (preferred) or
+        ``predict_proba``.
+    threshold:
+        Decision threshold on the calibrated probability.
+    """
+
+    def __init__(self, base=None, threshold: float = 0.5):
+        self.base = base
+        self.threshold = threshold
+
+    def _scores(self, X) -> np.ndarray:
+        if self.base is None:
+            raise ValidationError("CalibratedClassifier requires a base estimator")
+        if hasattr(self.base, "decision_function"):
+            return np.asarray(self.base.decision_function(X), dtype=np.float64)
+        if hasattr(self.base, "predict_proba"):
+            return np.asarray(self.base.predict_proba(X)[:, 1], dtype=np.float64)
+        raise ValidationError(
+            "base estimator must expose decision_function or predict_proba"
+        )
+
+    def fit(self, X, y):
+        """Fit the calibration map on held-out ``(X, y)``."""
+        if not 0.0 < self.threshold < 1.0:
+            raise ValidationError(f"threshold must be in (0, 1); got {self.threshold}")
+        self.calibrator_ = PlattCalibrator().fit(self._scores(X), y)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Calibrated class probabilities, shape ``(n, 2)``."""
+        check_is_fitted(self, "calibrator_")
+        p1 = self.calibrator_.predict_proba_positive(self._scores(X))
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, X) -> np.ndarray:
+        """Hard labels at the configured probability threshold."""
+        return (self.predict_proba(X)[:, 1] >= self.threshold).astype(np.int64)

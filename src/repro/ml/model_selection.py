@@ -1,0 +1,308 @@
+"""Data splitting, cross-validation, and hyper-parameter search.
+
+Reproduces the paper's protocol (§4.1): a held-out test split, then 5-fold
+cross-validation grid search on the training portion, then a single
+evaluation on the untouched test set.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from .._validation import (
+    check_consistent_length,
+    check_random_state,
+    column_or_1d,
+)
+from ..exceptions import ValidationError
+from .base import BaseEstimator, clone
+from .metrics import accuracy_score, roc_auc_score
+
+__all__ = [
+    "train_test_split",
+    "KFold",
+    "StratifiedKFold",
+    "ParameterGrid",
+    "cross_val_score",
+    "GridSearchCV",
+]
+
+
+def train_test_split(*arrays, test_size: float = 0.3, stratify=None, seed=None):
+    """Split arrays into random train and test subsets.
+
+    Parameters
+    ----------
+    *arrays:
+        One or more arrays sharing the first dimension.
+    test_size:
+        Fraction of samples assigned to the test set, in (0, 1).
+    stratify:
+        Optional label array; when given, each label keeps (approximately)
+        its population share in both splits.
+    seed:
+        Seed or ``numpy.random.Generator`` for the shuffle.
+
+    Returns
+    -------
+    list
+        ``[a1_train, a1_test, a2_train, a2_test, ...]`` in argument order.
+    """
+    if not arrays:
+        raise ValidationError("train_test_split needs at least one array")
+    if not 0.0 < test_size < 1.0:
+        raise ValidationError(f"test_size must be in (0, 1); got {test_size}")
+    n = check_consistent_length(*arrays)
+    n_test = int(round(n * test_size))
+    if n_test == 0 or n_test == n:
+        raise ValidationError(
+            f"test_size={test_size} leaves an empty split for n={n} samples"
+        )
+    rng = check_random_state(seed)
+
+    if stratify is None:
+        permutation = rng.permutation(n)
+        test_idx = permutation[:n_test]
+        train_idx = permutation[n_test:]
+    else:
+        labels = column_or_1d(stratify, name="stratify")
+        check_consistent_length(arrays[0], labels)
+        test_parts, train_parts = [], []
+        # Largest-remainder allocation keeps the test set size exact while
+        # keeping every class close to its population share.
+        values, counts = np.unique(labels, return_counts=True)
+        quotas = counts * test_size
+        base = np.floor(quotas).astype(int)
+        remainder = n_test - int(base.sum())
+        order = np.argsort(-(quotas - base), kind="stable")
+        base[order[:remainder]] += 1
+        for value, take in zip(values, base):
+            members = np.flatnonzero(labels == value)
+            members = rng.permutation(members)
+            test_parts.append(members[:take])
+            train_parts.append(members[take:])
+        test_idx = rng.permutation(np.concatenate(test_parts))
+        train_idx = rng.permutation(np.concatenate(train_parts))
+
+    result = []
+    for array in arrays:
+        indexable = np.asarray(array)
+        result.extend([indexable[train_idx], indexable[test_idx]])
+    return result
+
+
+class KFold:
+    """Deterministic or shuffled k-fold cross-validation splitter."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = False, seed=None):
+        if n_splits < 2:
+            raise ValidationError(f"n_splits must be >= 2; got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, X, y=None):
+        """Yield ``(train_indices, test_indices)`` pairs covering all samples."""
+        n = X.shape[0] if hasattr(X, "shape") else len(X)
+        if n < self.n_splits:
+            raise ValidationError(
+                f"cannot split {n} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n)
+        if self.shuffle:
+            indices = check_random_state(self.seed).permutation(n)
+        fold_sizes = np.full(self.n_splits, n // self.n_splits, dtype=int)
+        fold_sizes[: n % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test_idx = indices[start : start + size]
+            train_idx = np.concatenate([indices[:start], indices[start + size :]])
+            yield train_idx, test_idx
+            start += size
+
+
+class StratifiedKFold:
+    """K-fold splitter that preserves per-class proportions in every fold."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = False, seed=None):
+        if n_splits < 2:
+            raise ValidationError(f"n_splits must be >= 2; got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, X, y):
+        """Yield stratified ``(train_indices, test_indices)`` pairs."""
+        y = column_or_1d(y, name="y")
+        n = len(y)
+        check_consistent_length(X, y)
+        rng = check_random_state(self.seed)
+        # Assign a fold id to each sample, dealing class-by-class round-robin.
+        fold_of = np.empty(n, dtype=int)
+        for value in np.unique(y):
+            members = np.flatnonzero(y == value)
+            if len(members) < self.n_splits:
+                raise ValidationError(
+                    f"class {value!r} has only {len(members)} members for "
+                    f"{self.n_splits} folds"
+                )
+            if self.shuffle:
+                members = rng.permutation(members)
+            fold_of[members] = np.arange(len(members)) % self.n_splits
+        for fold in range(self.n_splits):
+            test_idx = np.flatnonzero(fold_of == fold)
+            train_idx = np.flatnonzero(fold_of != fold)
+            yield train_idx, test_idx
+
+
+class ParameterGrid:
+    """Iterate over the cartesian product of a parameter grid dictionary.
+
+    ``ParameterGrid({"a": [1, 2], "b": [3]})`` yields ``{"a": 1, "b": 3}``
+    and ``{"a": 2, "b": 3}``. A list of grids is accepted and concatenated.
+    """
+
+    def __init__(self, grid):
+        if isinstance(grid, dict):
+            grid = [grid]
+        if not isinstance(grid, (list, tuple)) or not all(isinstance(g, dict) for g in grid):
+            raise ValidationError("grid must be a dict or a list of dicts")
+        for g in grid:
+            for key, values in g.items():
+                if not isinstance(values, (list, tuple, np.ndarray)):
+                    raise ValidationError(
+                        f"grid values must be sequences; {key!r} has {type(values).__name__}"
+                    )
+                if len(values) == 0:
+                    raise ValidationError(f"grid entry {key!r} is empty")
+        self.grid = [dict(g) for g in grid]
+
+    def __iter__(self):
+        for g in self.grid:
+            if not g:
+                yield {}
+                continue
+            keys = sorted(g)
+            for combo in itertools.product(*(g[k] for k in keys)):
+                yield dict(zip(keys, combo))
+
+    def __len__(self) -> int:
+        total = 0
+        for g in self.grid:
+            size = 1
+            for values in g.values():
+                size *= len(values)
+            total += size
+        return total
+
+
+_SCORERS = {
+    "accuracy": lambda est, X, y: accuracy_score(y, est.predict(X)),
+    "roc_auc": lambda est, X, y: roc_auc_score(y, est.predict_proba(X)[:, 1]),
+}
+
+
+def get_scorer(scoring):
+    """Resolve a scoring spec (name or callable) to ``f(estimator, X, y) -> float``."""
+    if callable(scoring):
+        return scoring
+    if scoring in _SCORERS:
+        return _SCORERS[scoring]
+    raise ValidationError(
+        f"unknown scoring {scoring!r}; available: {sorted(_SCORERS)} or a callable"
+    )
+
+
+def cross_val_score(estimator, X, y, *, cv=None, scoring="accuracy") -> np.ndarray:
+    """Score an estimator over cross-validation folds.
+
+    Each fold clones the estimator, fits on the training part, and applies
+    the scorer to the held-out part.
+    """
+    if cv is None:
+        cv = KFold(n_splits=5)
+    scorer = get_scorer(scoring)
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores = []
+    for train_idx, test_idx in cv.split(X, y):
+        model = clone(estimator)
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(scorer(model, X[test_idx], y[test_idx]))
+    return np.asarray(scores, dtype=np.float64)
+
+
+class GridSearchCV(BaseEstimator):
+    """Exhaustive hyper-parameter search with cross-validation.
+
+    Mirrors the paper's tuning protocol: every parameter combination is
+    scored by k-fold cross-validation on the training data; the best
+    combination is refitted on the full training data.
+
+    Attributes
+    ----------
+    best_params_ : dict
+        Parameters of the best combination.
+    best_score_ : float
+        Mean cross-validation score of the best combination.
+    best_estimator_ : estimator
+        Estimator refitted on all training data with ``best_params_``.
+    cv_results_ : list of dict
+        One record per combination: ``params``, ``mean_score``, ``std_score``.
+    """
+
+    def __init__(self, estimator=None, param_grid=None, scoring="accuracy", cv=None):
+        self.estimator = estimator
+        self.param_grid = param_grid
+        self.scoring = scoring
+        self.cv = cv
+
+    def fit(self, X, y):
+        """Run the search and refit the winner on all of ``(X, y)``."""
+        if self.estimator is None or self.param_grid is None:
+            raise ValidationError("GridSearchCV requires estimator and param_grid")
+        X = np.asarray(X)
+        y = np.asarray(y)
+        cv = self.cv if self.cv is not None else StratifiedKFold(n_splits=5)
+        scorer = get_scorer(self.scoring)
+
+        self.cv_results_ = []
+        best_score = -np.inf
+        best_params = None
+        for params in ParameterGrid(self.param_grid):
+            fold_scores = []
+            for train_idx, test_idx in cv.split(X, y):
+                model = clone(self.estimator).set_params(**params)
+                model.fit(X[train_idx], y[train_idx])
+                fold_scores.append(scorer(model, X[test_idx], y[test_idx]))
+            mean_score = float(np.mean(fold_scores))
+            self.cv_results_.append(
+                {
+                    "params": dict(params),
+                    "mean_score": mean_score,
+                    "std_score": float(np.std(fold_scores)),
+                }
+            )
+            if mean_score > best_score:
+                best_score = mean_score
+                best_params = dict(params)
+
+        self.best_score_ = best_score
+        self.best_params_ = best_params
+        self.best_estimator_ = clone(self.estimator).set_params(**best_params)
+        self.best_estimator_.fit(X, y)
+        return self
+
+    def predict(self, X):
+        """Predict with the refitted best estimator."""
+        if getattr(self, "best_estimator_", None) is None:
+            raise ValidationError("GridSearchCV is not fitted yet")
+        return self.best_estimator_.predict(X)
+
+    def predict_proba(self, X):
+        """Probabilities from the refitted best estimator."""
+        if getattr(self, "best_estimator_", None) is None:
+            raise ValidationError("GridSearchCV is not fitted yet")
+        return self.best_estimator_.predict_proba(X)

@@ -1,0 +1,113 @@
+"""Estimator composition: chain transformers with a final predictor.
+
+The paper's protocol is exactly such a chain — scaler → representation
+learner → logistic regression — so a small Pipeline keeps the experiment
+harness declarative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .base import BaseEstimator, clone
+
+__all__ = ["Pipeline"]
+
+
+class Pipeline(BaseEstimator):
+    """Chain of ``(name, estimator)`` steps.
+
+    All steps except the last must be transformers (``fit``/``transform``);
+    the last step may be any estimator. ``fit`` clones nothing — steps are
+    fitted in place, matching scikit-learn semantics.
+    """
+
+    def __init__(self, steps=None):
+        self.steps = steps
+
+    def _validate(self):
+        if not self.steps:
+            raise ValidationError("Pipeline requires a non-empty list of (name, estimator) steps")
+        names = [name for name, _ in self.steps]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"step names must be unique; got {names}")
+        for name, step in self.steps[:-1]:
+            if not hasattr(step, "transform"):
+                raise ValidationError(f"intermediate step {name!r} must define transform()")
+
+    @property
+    def named_steps(self) -> dict:
+        """Step name → estimator mapping."""
+        return dict(self.steps)
+
+    def _transform_through(self, X, *, upto_last: bool) -> np.ndarray:
+        steps = self.steps[:-1] if upto_last else self.steps
+        for _, step in steps:
+            X = step.transform(X)
+        return X
+
+    def fit(self, X, y=None):
+        """Fit each step in sequence, feeding forward transformed data."""
+        self._validate()
+        for _, step in self.steps[:-1]:
+            X = step.fit_transform(X, y) if hasattr(step, "fit_transform") else step.fit(X, y).transform(X)
+        final = self.steps[-1][1]
+        if y is None:
+            final.fit(X)
+        else:
+            final.fit(X, y)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Apply every step's ``transform`` (the final step must be a transformer)."""
+        self._validate()
+        return self._transform_through(X, upto_last=False)
+
+    def predict(self, X):
+        """Transform through all intermediate steps, then predict with the last."""
+        self._validate()
+        return self.steps[-1][1].predict(self._transform_through(X, upto_last=True))
+
+    def predict_proba(self, X):
+        """Transform through intermediates, then ``predict_proba`` with the last step."""
+        self._validate()
+        return self.steps[-1][1].predict_proba(self._transform_through(X, upto_last=True))
+
+    def decision_function(self, X):
+        """Transform through intermediates, then ``decision_function`` with the last step."""
+        self._validate()
+        return self.steps[-1][1].decision_function(self._transform_through(X, upto_last=True))
+
+    def score(self, X, y):
+        """Delegate scoring to the final step on transformed features."""
+        self._validate()
+        return self.steps[-1][1].score(self._transform_through(X, upto_last=True), y)
+
+    def _clone(self) -> "Pipeline":
+        """Unfitted copy: recursively clones every step estimator."""
+        return Pipeline(steps=[(name, clone(step)) for name, step in (self.steps or [])])
+
+    def get_params(self) -> dict:
+        """Flat parameters plus nested ``step__param`` entries for grid search."""
+        params = {"steps": self.steps}
+        if self.steps:
+            for name, step in self.steps:
+                if isinstance(step, BaseEstimator):
+                    for key, value in step.get_params().items():
+                        params[f"{name}__{key}"] = value
+        return params
+
+    def set_params(self, **params):
+        """Support both ``steps=...`` and nested ``step__param`` assignment."""
+        if "steps" in params:
+            self.steps = params.pop("steps")
+        named = dict(self.steps) if self.steps else {}
+        for key, value in params.items():
+            if "__" not in key:
+                raise ValidationError(f"unknown Pipeline parameter {key!r}")
+            step_name, _, sub_key = key.partition("__")
+            if step_name not in named:
+                raise ValidationError(f"Pipeline has no step named {step_name!r}")
+            named[step_name].set_params(**{sub_key: value})
+        return self

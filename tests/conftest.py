@@ -1,0 +1,73 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import simulate_admissions, simulate_compas, simulate_crime
+from repro.graphs import between_group_quantile_graph, knn_graph
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for ad-hoc data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_X(rng):
+    """A small well-conditioned feature matrix."""
+    return rng.normal(size=(40, 5))
+
+
+@pytest.fixture
+def binary_problem(rng):
+    """A linearly separable-ish binary classification problem."""
+    n = 200
+    X = rng.normal(size=(n, 4))
+    w = np.array([1.5, -2.0, 0.5, 0.0])
+    logits = X @ w + 0.3
+    y = (logits + rng.normal(scale=0.5, size=n) > 0).astype(np.int64)
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def admissions():
+    """Paper-sized synthetic admissions dataset."""
+    return simulate_admissions(300, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_admissions():
+    """Small admissions dataset for fast estimator tests."""
+    return simulate_admissions(60, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_compas():
+    """Scaled-down COMPAS simulation."""
+    return simulate_compas(250, 270, seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_crime():
+    """Scaled-down Crime & Communities simulation."""
+    return simulate_crime(220, 90, seed=5)
+
+
+@pytest.fixture
+def quantile_graph_setup(rng):
+    """Scores, groups, and the resulting quantile fairness graph."""
+    n = 80
+    groups = np.repeat([0, 1], n // 2)
+    scores = rng.random(n)
+    W = between_group_quantile_graph(scores, groups, n_quantiles=4)
+    return scores, groups, W
+
+
+@pytest.fixture
+def knn_setup(rng):
+    """A feature matrix and its k-NN graph."""
+    X = rng.normal(size=(50, 3))
+    return X, knn_graph(X, n_neighbors=5)

@@ -1,0 +1,119 @@
+"""Tests for repro.baselines.hardt — equalized-odds post-processing."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EqualizedOddsPostProcessor
+from repro.exceptions import ValidationError
+from repro.metrics import group_rates
+
+
+@pytest.fixture
+def biased_predictor(rng):
+    """A base predictor with very different error profiles per group."""
+    n = 4000
+    s = rng.integers(0, 2, n)
+    y = (rng.random(n) < 0.4 + 0.2 * s).astype(int)
+    # group 0: accurate; group 1: systematically over-predicted
+    flip_up = (s == 1) & (rng.random(n) < 0.35)
+    noise = rng.random(n) < 0.1
+    y_pred = np.where(flip_up, 1, y)
+    y_pred = np.where(noise, 1 - y_pred, y_pred).astype(int)
+    return y, y_pred, s
+
+
+class TestFit:
+    def test_mixing_probabilities_are_probabilities(self, biased_predictor):
+        y, y_pred, s = biased_predictor
+        post = EqualizedOddsPostProcessor(seed=0).fit(y, y_pred, s)
+        for p0, p1 in post.mix_probabilities_.values():
+            assert 0.0 <= p0 <= 1.0
+            assert 0.0 <= p1 <= 1.0
+
+    def test_equalizes_training_odds_in_expectation(self, biased_predictor):
+        # Compute the *expected* post-processed TPR/FPR per group from the
+        # mixing probabilities; the LP constrains them to be exactly equal.
+        y, y_pred, s = biased_predictor
+        post = EqualizedOddsPostProcessor(seed=0).fit(y, y_pred, s)
+        expected_rates = {}
+        for group in (0, 1):
+            members = s == group
+            p0, p1 = post.mix_probabilities_[group]
+            base_tpr = y_pred[members & (y == 1)].mean()
+            base_fpr = y_pred[members & (y == 0)].mean()
+            tpr = p1 * base_tpr + p0 * (1 - base_tpr)
+            fpr = p1 * base_fpr + p0 * (1 - base_fpr)
+            expected_rates[group] = (tpr, fpr)
+        assert expected_rates[0][0] == pytest.approx(expected_rates[1][0], abs=1e-6)
+        assert expected_rates[0][1] == pytest.approx(expected_rates[1][1], abs=1e-6)
+
+    def test_shrinks_empirical_odds_gap(self, biased_predictor):
+        y, y_pred, s = biased_predictor
+        post = EqualizedOddsPostProcessor(seed=0).fit(y, y_pred, s)
+        fair_pred = post.predict(y_pred, s)
+        before = group_rates(y, y_pred, s)
+        after = group_rates(y, fair_pred, s)
+        assert after.gap("fpr") < before.gap("fpr")
+        assert after.gap("fnr") < before.gap("fnr")
+
+    def test_expected_error_reported(self, biased_predictor):
+        y, y_pred, s = biased_predictor
+        post = EqualizedOddsPostProcessor(seed=0).fit(y, y_pred, s)
+        assert 0.0 <= post.expected_error_ <= 1.0
+        # randomization-averaged empirical error should be close
+        errors = [
+            np.mean(post.predict(y_pred, s, rng=seed) != y) for seed in range(5)
+        ]
+        assert np.mean(errors) == pytest.approx(post.expected_error_, abs=0.05)
+
+    def test_three_groups_supported(self, rng):
+        n = 3000
+        s = rng.integers(0, 3, n)
+        y = (rng.random(n) < 0.5).astype(int)
+        y_pred = np.where(rng.random(n) < 0.2, 1 - y, y)
+        post = EqualizedOddsPostProcessor(seed=0).fit(y, y_pred, s)
+        assert len(post.mix_probabilities_) == 3
+
+
+class TestPredict:
+    def test_deterministic_given_seed(self, biased_predictor):
+        y, y_pred, s = biased_predictor
+        post = EqualizedOddsPostProcessor(seed=42).fit(y, y_pred, s)
+        np.testing.assert_array_equal(
+            post.predict(y_pred, s), post.predict(y_pred, s)
+        )
+
+    def test_proba_matches_mixing_table(self, biased_predictor):
+        y, y_pred, s = biased_predictor
+        post = EqualizedOddsPostProcessor(seed=0).fit(y, y_pred, s)
+        proba = post.predict_proba_positive(y_pred, s)
+        i = 5
+        expected = post.mix_probabilities_[int(s[i])][int(y_pred[i])]
+        assert proba[i] == pytest.approx(expected)
+
+    def test_unseen_group_rejected(self, biased_predictor):
+        y, y_pred, s = biased_predictor
+        post = EqualizedOddsPostProcessor(seed=0).fit(y, y_pred, s)
+        with pytest.raises(ValidationError, match="unseen"):
+            post.predict(y_pred[:3], np.array([0, 1, 7]))
+
+    def test_not_fitted(self):
+        with pytest.raises(ValidationError, match="not fitted"):
+            EqualizedOddsPostProcessor().predict_proba_positive([0, 1], [0, 1])
+
+
+class TestValidation:
+    def test_single_group_rejected(self):
+        with pytest.raises(ValidationError, match="two groups"):
+            EqualizedOddsPostProcessor().fit([0, 1], [0, 1], [0, 0])
+
+    def test_group_missing_class_rejected(self):
+        y = np.array([1, 1, 0, 1])
+        y_pred = np.array([1, 0, 0, 1])
+        s = np.array([0, 0, 1, 1])
+        with pytest.raises(ValidationError, match="both classes"):
+            EqualizedOddsPostProcessor().fit(y, y_pred, s)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            EqualizedOddsPostProcessor().fit([0, 1], [0, 1, 1], [0, 1])

@@ -1,0 +1,100 @@
+"""Tests for repro.baselines.original and repro.baselines.augment."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MaskedRepresentation, SideInformationAugmenter
+from repro.exceptions import NotFittedError, ValidationError
+
+
+class TestMaskedRepresentation:
+    def test_drops_protected_columns(self, rng):
+        X = rng.normal(size=(10, 4))
+        Z = MaskedRepresentation(protected_columns=[1, 3]).fit_transform(X)
+        np.testing.assert_allclose(Z, X[:, [0, 2]])
+
+    def test_identity_when_nothing_protected(self, rng):
+        X = rng.normal(size=(5, 3))
+        Z = MaskedRepresentation().fit_transform(X)
+        np.testing.assert_allclose(Z, X)
+
+    def test_duplicate_indices_collapse(self, rng):
+        X = rng.normal(size=(6, 3))
+        Z = MaskedRepresentation(protected_columns=[2, 2]).fit_transform(X)
+        assert Z.shape == (6, 2)
+
+    def test_out_of_range_rejected(self, rng):
+        with pytest.raises(ValidationError, match="protected_columns"):
+            MaskedRepresentation(protected_columns=[5]).fit(rng.normal(size=(4, 3)))
+
+    def test_masking_everything_rejected(self, rng):
+        with pytest.raises(ValidationError, match="every column"):
+            MaskedRepresentation(protected_columns=[0, 1]).fit(rng.normal(size=(4, 2)))
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            MaskedRepresentation().transform(np.ones((2, 2)))
+
+    def test_transform_width_mismatch(self, rng):
+        masker = MaskedRepresentation(protected_columns=[0]).fit(rng.normal(size=(4, 3)))
+        with pytest.raises(ValidationError, match="features"):
+            masker.transform(np.ones((2, 5)))
+
+
+class TestSideInformationAugmenter:
+    def test_train_gets_true_values(self, rng):
+        X = rng.normal(size=(8, 2))
+        side = np.arange(8, dtype=float)
+        augmenter = SideInformationAugmenter(side_information=side)
+        Z = augmenter.fit_transform(X)
+        assert Z.shape == (8, 3)
+        np.testing.assert_allclose(Z[:, 2], side)
+
+    def test_test_gets_means(self, rng):
+        X = rng.normal(size=(8, 2))
+        side = np.arange(8, dtype=float)
+        augmenter = SideInformationAugmenter(side_information=side).fit(X)
+        X_new = rng.normal(size=(5, 2))
+        Z = augmenter.transform(X_new)
+        np.testing.assert_allclose(Z[:, 2], side.mean())
+
+    def test_explicit_side_at_transform(self, rng):
+        X = rng.normal(size=(4, 2))
+        augmenter = SideInformationAugmenter(
+            side_information=np.ones(4)
+        ).fit(X)
+        Z = augmenter.transform(X, side_information=np.full(4, 9.0))
+        np.testing.assert_allclose(Z[:, 2], 9.0)
+
+    def test_nan_imputed_with_observed_mean(self, rng):
+        X = rng.normal(size=(4, 1))
+        side = np.array([1.0, np.nan, 3.0, np.nan])
+        Z = SideInformationAugmenter(side_information=side).fit_transform(X)
+        np.testing.assert_allclose(Z[:, 1], [1.0, 2.0, 3.0, 2.0])
+
+    def test_multicolumn_side(self, rng):
+        X = rng.normal(size=(5, 2))
+        side = rng.normal(size=(5, 3))
+        Z = SideInformationAugmenter(side_information=side).fit_transform(X)
+        assert Z.shape == (5, 5)
+
+    def test_missing_side_rejected(self, rng):
+        with pytest.raises(ValidationError, match="side_information"):
+            SideInformationAugmenter().fit(rng.normal(size=(3, 2)))
+
+    def test_row_mismatch_rejected(self, rng):
+        with pytest.raises(ValidationError, match="rows"):
+            SideInformationAugmenter(side_information=np.ones(4)).fit(
+                rng.normal(size=(3, 2))
+            )
+
+    def test_fully_missing_column_rejected(self, rng):
+        side = np.full(3, np.nan)
+        with pytest.raises(ValidationError, match="no observed"):
+            SideInformationAugmenter(side_information=side).fit(rng.normal(size=(3, 2)))
+
+    def test_transform_shape_check(self, rng):
+        X = rng.normal(size=(4, 2))
+        augmenter = SideInformationAugmenter(side_information=np.ones(4)).fit(X)
+        with pytest.raises(ValidationError, match="shape"):
+            augmenter.transform(X, side_information=np.ones((4, 2)))

@@ -1,0 +1,61 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.experiment == "table1"
+        assert args.scale == 1.0
+        assert args.seed == 0
+        assert args.output is None
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "figure2", "--scale", "0.3", "--seed", "7", "--output", "x.txt"]
+        )
+        assert args.scale == 0.3
+        assert args.seed == 7
+        assert args.output == "x.txt"
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        for i in range(1, 11):
+            assert f"figure{i}" in out
+
+
+class TestRun:
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Base-rate" in out
+
+    def test_run_figure2_small(self, capsys):
+        assert main(["run", "figure2", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "Consistency(WF)" in out
+        assert "pfr" in out
+
+    def test_run_writes_output_file(self, tmp_path, capsys):
+        target = tmp_path / "render.txt"
+        assert main(
+            ["run", "table1", "--scale", "0.05", "--output", str(target)]
+        ) == 0
+        capsys.readouterr()
+        assert "Base-rate" in target.read_text()
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "figure42"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err

@@ -1,0 +1,148 @@
+"""Tests for repro.core.kernel_pfr — the §3.3.4 extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import PFR, KernelPFR, kernel_matrix
+from repro.exceptions import NotFittedError, ValidationError
+from repro.graphs import pairwise_judgment_graph
+
+
+@pytest.fixture
+def ring_data(rng):
+    """Two concentric rings — linearly inseparable, kernel-friendly."""
+    n = 40
+    angles = rng.uniform(0, 2 * np.pi, size=n)
+    radii = np.concatenate([np.full(n // 2, 1.0), np.full(n // 2, 3.0)])
+    X = np.column_stack([radii * np.cos(angles), radii * np.sin(angles)])
+    y = (radii > 2.0).astype(int)
+    return X, y
+
+
+class TestKernelMatrix:
+    def test_linear_kernel(self, rng):
+        X = rng.normal(size=(6, 3))
+        np.testing.assert_allclose(kernel_matrix(X, kernel="linear"), X @ X.T)
+
+    def test_rbf_diagonal_is_one(self, rng):
+        X = rng.normal(size=(8, 2))
+        K = kernel_matrix(X, kernel="rbf", bandwidth=1.0)
+        np.testing.assert_allclose(np.diag(K), 1.0)
+
+    def test_rbf_bounded(self, rng):
+        K = kernel_matrix(rng.normal(size=(10, 2)), kernel="rbf", bandwidth=2.0)
+        assert K.min() > 0.0 and K.max() <= 1.0 + 1e-12
+
+    def test_rbf_symmetric_psd(self, rng):
+        K = kernel_matrix(rng.normal(size=(12, 3)), kernel="rbf")
+        np.testing.assert_allclose(K, K.T, atol=1e-12)
+        assert np.linalg.eigvalsh(K).min() > -1e-9
+
+    def test_poly_kernel(self, rng):
+        X = rng.normal(size=(5, 2))
+        K = kernel_matrix(X, kernel="poly", degree=2, coef0=1.0)
+        np.testing.assert_allclose(K, (X @ X.T + 1.0) ** 2)
+
+    def test_cross_kernel_shape(self, rng):
+        X = rng.normal(size=(4, 3))
+        Y = rng.normal(size=(6, 3))
+        assert kernel_matrix(X, Y, kernel="rbf", bandwidth=1.0).shape == (4, 6)
+
+    def test_unknown_kernel(self, rng):
+        with pytest.raises(ValidationError, match="kernel"):
+            kernel_matrix(rng.normal(size=(3, 2)), kernel="mystery")
+
+    def test_feature_mismatch(self, rng):
+        with pytest.raises(ValidationError, match="feature"):
+            kernel_matrix(rng.normal(size=(3, 2)), rng.normal(size=(3, 4)))
+
+    def test_invalid_degree(self, rng):
+        with pytest.raises(ValidationError, match="degree"):
+            kernel_matrix(rng.normal(size=(3, 2)), kernel="poly", degree=0)
+
+
+class TestKernelPFR:
+    def test_shapes(self, ring_data):
+        X, _ = ring_data
+        WF = pairwise_judgment_graph([(0, 1), (2, 3)], n=len(X))
+        model = KernelPFR(n_components=3, gamma=0.5).fit(X, WF)
+        assert model.alphas_.shape == (len(X), 3)
+        assert model.transform(X).shape == (len(X), 3)
+
+    def test_out_of_sample(self, ring_data, rng):
+        X, _ = ring_data
+        WF = pairwise_judgment_graph([(0, 1)], n=len(X))
+        model = KernelPFR(n_components=2).fit(X, WF)
+        Z_new = model.transform(rng.normal(size=(5, 2)))
+        assert Z_new.shape == (5, 2)
+        assert np.all(np.isfinite(Z_new))
+
+    def test_linear_kernel_spans_linear_pfr_space(self, rng):
+        # With a linear kernel, the kernel-PFR embedding must lie in the
+        # span of the linear features (rank <= m).
+        X = rng.normal(size=(30, 3))
+        WF = pairwise_judgment_graph([(0, 1), (4, 7)], n=30)
+        model = KernelPFR(n_components=2, kernel="linear", ridge=1e-10).fit(X, WF)
+        Z = model.transform(X)
+        # residual of projecting Z onto col-space of X should be ~0
+        proj, *_ = np.linalg.lstsq(X, Z, rcond=None)
+        np.testing.assert_allclose(X @ proj, Z, atol=1e-6)
+
+    def test_deterministic(self, ring_data):
+        X, _ = ring_data
+        WF = pairwise_judgment_graph([(0, 1)], n=len(X))
+        Z1 = KernelPFR(n_components=2, kernel_bandwidth=1.0).fit(X, WF).transform(X)
+        Z2 = KernelPFR(n_components=2, kernel_bandwidth=1.0).fit(X, WF).transform(X)
+        np.testing.assert_array_equal(Z1, Z2)
+
+    def test_bandwidth_frozen_at_fit(self, ring_data):
+        X, _ = ring_data
+        WF = pairwise_judgment_graph([(0, 1)], n=len(X))
+        model = KernelPFR(n_components=2).fit(X, WF)
+        assert model._fitted_bandwidth is not None
+
+    def test_gamma_out_of_range(self, ring_data):
+        X, _ = ring_data
+        WF = pairwise_judgment_graph([], n=len(X))
+        with pytest.raises(ValidationError, match="gamma"):
+            KernelPFR(gamma=-0.1).fit(X, WF)
+
+    def test_n_components_bounded_by_n(self, rng):
+        X = rng.normal(size=(5, 2))
+        WF = pairwise_judgment_graph([], n=5)
+        with pytest.raises(ValidationError, match="n_components"):
+            KernelPFR(n_components=6).fit(X, WF)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            KernelPFR().transform(np.ones((2, 2)))
+
+    def test_feature_mismatch_at_transform(self, ring_data):
+        X, _ = ring_data
+        WF = pairwise_judgment_graph([], n=len(X))
+        model = KernelPFR(n_components=2).fit(X, WF)
+        with pytest.raises(ValidationError, match="features"):
+            model.transform(np.ones((3, 5)))
+
+    def test_fit_transform_requires_graph(self, ring_data):
+        X, _ = ring_data
+        with pytest.raises(ValidationError, match="fairness graph"):
+            KernelPFR().fit_transform(X)
+
+    def test_rbf_embedding_separates_rings(self, ring_data):
+        # A qualitative check of the kernel extension's value: the rings are
+        # not linearly separable in the raw features, but a classifier on
+        # the RBF kernel-PFR embedding should separate them well.
+        from repro.ml import LogisticRegression
+
+        X, y = ring_data
+        WF = pairwise_judgment_graph([], n=len(X))
+        raw_accuracy = LogisticRegression().fit(X, y).score(X, y)
+
+        kernel = KernelPFR(
+            n_components=6, gamma=0.0, n_neighbors=5, kernel="rbf"
+        ).fit(X, WF)
+        Z = kernel.transform(X)
+        kernel_accuracy = LogisticRegression().fit(Z, y).score(Z, y)
+        assert raw_accuracy < 0.8
+        assert kernel_accuracy > raw_accuracy

@@ -1,0 +1,198 @@
+"""Tests for repro.core.pfr — the PFR estimator."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PFR, pairwise_loss
+from repro.exceptions import NotFittedError, ValidationError
+from repro.graphs import between_group_quantile_graph, knn_graph, pairwise_judgment_graph
+
+
+@pytest.fixture
+def fitted_pfr(rng):
+    X = rng.normal(size=(60, 5))
+    groups = np.repeat([0, 1], 30)
+    scores = rng.random(60)
+    WF = between_group_quantile_graph(scores, groups, n_quantiles=5)
+    model = PFR(n_components=3, gamma=0.5).fit(X, WF)
+    return model, X, WF
+
+
+class TestFitTransform:
+    def test_output_shape(self, fitted_pfr):
+        model, X, _ = fitted_pfr
+        assert model.transform(X).shape == (60, 3)
+
+    def test_components_shape(self, fitted_pfr):
+        model, X, _ = fitted_pfr
+        assert model.components_.shape == (5, 3)
+        assert model.eigenvalues_.shape == (3,)
+
+    def test_transform_is_linear(self, fitted_pfr, rng):
+        model, X, _ = fitted_pfr
+        A = rng.normal(size=(7, 5))
+        B = rng.normal(size=(7, 5))
+        np.testing.assert_allclose(
+            model.transform(A + B),
+            model.transform(A) + model.transform(B),
+            atol=1e-9,
+        )
+
+    def test_out_of_sample_transform(self, fitted_pfr, rng):
+        model, _, _ = fitted_pfr
+        new = rng.normal(size=(9, 5))
+        np.testing.assert_allclose(model.transform(new), new @ model.components_)
+
+    def test_z_constraint_orthonormal_embedding(self, rng):
+        X = rng.normal(size=(50, 4))
+        WF = pairwise_judgment_graph([(0, 1), (2, 3)], n=50)
+        model = PFR(n_components=2, gamma=0.3, constraint="z", ridge=0.0).fit(X, WF)
+        Z = model.transform(X)
+        # ZᵀZ = Vᵀ(XᵀX)V = I in the generalized mode
+        np.testing.assert_allclose(Z.T @ Z, np.eye(2), atol=1e-6)
+
+    def test_v_constraint_orthonormal_basis(self, rng):
+        X = rng.normal(size=(50, 4))
+        WF = pairwise_judgment_graph([(0, 1)], n=50)
+        model = PFR(n_components=2, gamma=0.3, constraint="v").fit(X, WF)
+        V = model.components_
+        np.testing.assert_allclose(V.T @ V, np.eye(2), atol=1e-9)
+
+    def test_deterministic(self, rng):
+        X = rng.normal(size=(40, 4))
+        WF = pairwise_judgment_graph([(0, 1), (5, 9)], n=40)
+        Z1 = PFR(n_components=2).fit(X, WF).transform(X)
+        Z2 = PFR(n_components=2).fit(X, WF).transform(X)
+        np.testing.assert_array_equal(Z1, Z2)
+
+    def test_accepts_dense_fairness_graph(self, rng):
+        X = rng.normal(size=(20, 3))
+        WF = np.zeros((20, 20))
+        WF[0, 1] = WF[1, 0] = 1.0
+        Z = PFR(n_components=2).fit(X, WF).transform(X)
+        assert Z.shape == (20, 2)
+
+    def test_accepts_precomputed_wx(self, rng):
+        X = rng.normal(size=(30, 3))
+        WX = knn_graph(X, n_neighbors=4)
+        WF = pairwise_judgment_graph([(0, 1)], n=30)
+        Z = PFR(n_components=2).fit(X, WF, w_x=WX).transform(X)
+        assert Z.shape == (30, 2)
+
+    def test_empty_fairness_graph_degrades_gracefully(self, rng):
+        X = rng.normal(size=(25, 3))
+        WF = sp.csr_matrix((25, 25))
+        Z = PFR(n_components=2, gamma=0.5).fit(X, WF).transform(X)
+        assert np.all(np.isfinite(Z))
+
+
+class TestFairnessBehaviour:
+    def test_gamma_one_pulls_connected_pairs_together(self, rng):
+        # Two clusters far apart; the fairness graph links them pairwise.
+        X = np.vstack([
+            rng.normal(0.0, 0.3, size=(20, 3)),
+            rng.normal(8.0, 0.3, size=(20, 3)),
+        ])
+        pairs = [(i, 20 + i) for i in range(20)]
+        WF = pairwise_judgment_graph(pairs, n=40)
+
+        losses = []
+        for gamma in (0.0, 1.0):
+            model = PFR(n_components=2, gamma=gamma, n_neighbors=5).fit(X, WF)
+            Z = model.transform(X)
+            # normalize scale so losses are comparable
+            Z = Z / max(np.linalg.norm(Z), 1e-12)
+            losses.append(pairwise_loss(Z, WF))
+        assert losses[1] < losses[0]
+
+    def test_objective_value_decreases_in_gamma(self, rng):
+        X = rng.normal(size=(50, 5))
+        groups = np.repeat([0, 1], 25)
+        scores = rng.random(50)
+        WF = between_group_quantile_graph(scores, groups, n_quantiles=5)
+        low = PFR(n_components=2, gamma=0.0).fit(X, WF)
+        high = PFR(n_components=2, gamma=1.0).fit(X, WF)
+        # normalized fairness loss must be no worse at gamma=1
+        def norm_loss(model):
+            Z = model.transform(X)
+            return pairwise_loss(Z / np.linalg.norm(Z), WF)
+
+        assert norm_loss(high) <= norm_loss(low) + 1e-9
+
+    def test_eigenvalues_ascending(self, fitted_pfr):
+        model, _, _ = fitted_pfr
+        assert np.all(np.diff(model.eigenvalues_) >= -1e-12)
+
+
+class TestValidation:
+    def test_gamma_out_of_range(self, rng):
+        X = rng.normal(size=(10, 2))
+        WF = sp.csr_matrix((10, 10))
+        with pytest.raises(ValidationError, match="gamma"):
+            PFR(gamma=1.5).fit(X, WF)
+
+    def test_n_components_too_large(self, rng):
+        X = rng.normal(size=(10, 2))
+        WF = sp.csr_matrix((10, 10))
+        with pytest.raises(ValidationError, match="n_components"):
+            PFR(n_components=3).fit(X, WF)
+
+    def test_graph_size_mismatch(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValidationError, match="nodes"):
+            PFR(n_components=2).fit(X, sp.csr_matrix((8, 8)))
+
+    def test_asymmetric_graph_rejected(self, rng):
+        X = rng.normal(size=(5, 2))
+        WF = np.zeros((5, 5))
+        WF[0, 1] = 1.0
+        with pytest.raises(ValidationError, match="symmetric"):
+            PFR(n_components=2).fit(X, WF)
+
+    def test_bad_constraint(self, rng):
+        X = rng.normal(size=(10, 2))
+        WF = sp.csr_matrix((10, 10))
+        with pytest.raises(ValidationError, match="constraint"):
+            PFR(constraint="q").fit(X, WF)
+
+    def test_bad_rescale(self, rng):
+        X = rng.normal(size=(10, 2))
+        WF = sp.csr_matrix((10, 10))
+        with pytest.raises(ValidationError, match="rescale"):
+            PFR(rescale="sometimes").fit(X, WF)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            PFR().transform(np.ones((2, 2)))
+
+    def test_transform_feature_mismatch(self, fitted_pfr):
+        model, _, _ = fitted_pfr
+        with pytest.raises(ValidationError, match="features"):
+            model.transform(np.ones((3, 4)))
+
+    def test_fit_transform_requires_graph(self, rng):
+        with pytest.raises(ValidationError, match="fairness graph"):
+            PFR().fit_transform(rng.normal(size=(10, 2)))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    gamma=st.floats(0.0, 1.0),
+    d=st.integers(1, 3),
+)
+def test_pfr_invariants_property(seed, gamma, d):
+    """For any seed/γ/d: finite output, correct shapes, ascending spectrum."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(30, 4))
+    scores = rng.random(30)
+    groups = np.repeat([0, 1], 15)
+    WF = between_group_quantile_graph(scores, groups, n_quantiles=3)
+    model = PFR(n_components=d, gamma=gamma, n_neighbors=4).fit(X, WF)
+    Z = model.transform(X)
+    assert Z.shape == (30, d)
+    assert np.all(np.isfinite(Z))
+    assert np.all(np.diff(model.eigenvalues_) >= -1e-9)

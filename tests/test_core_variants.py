@@ -1,0 +1,104 @@
+"""Tests for the PFR/KernelPFR formulation variants and utility methods."""
+
+import numpy as np
+import pytest
+
+from repro.core import PFR, KernelPFR, pairwise_loss
+from repro.graphs import between_group_quantile_graph, knn_graph, pairwise_judgment_graph
+
+
+@pytest.fixture
+def setup(rng):
+    X = rng.normal(size=(45, 4))
+    scores = rng.random(45)
+    groups = np.arange(45) % 2
+    WF = between_group_quantile_graph(scores, groups, n_quantiles=3)
+    return X, WF
+
+
+class TestPFRVariants:
+    @pytest.mark.parametrize("rescale", ["objective", "degree", "none"])
+    def test_rescale_modes_run(self, setup, rescale):
+        X, WF = setup
+        Z = PFR(n_components=2, gamma=0.5, n_neighbors=4,
+                rescale=rescale).fit(X, WF).transform(X)
+        assert np.all(np.isfinite(Z))
+
+    def test_rescale_modes_differ_at_mid_gamma(self, setup):
+        X, WF = setup
+        kwargs = dict(n_components=2, gamma=0.5, n_neighbors=4)
+        objective = PFR(rescale="objective", **kwargs).fit(X, WF)
+        none = PFR(rescale="none", **kwargs).fit(X, WF)
+        assert not np.allclose(objective.components_, none.components_)
+
+    def test_rescale_modes_agree_at_gamma_zero(self, setup):
+        X, WF = setup
+        kwargs = dict(n_components=2, gamma=0.0, n_neighbors=4, constraint="z")
+        a = PFR(rescale="objective", **kwargs).fit(X, WF)
+        b = PFR(rescale="none", **kwargs).fit(X, WF)
+        # at γ=0 both reduce to the pure WX objective, up to overall scale,
+        # and the generalized eigenvectors are scale-invariant.
+        np.testing.assert_allclose(a.components_, b.components_, atol=1e-8)
+
+    def test_normalized_laplacian_mode(self, setup):
+        X, WF = setup
+        Z = PFR(n_components=2, gamma=0.5, n_neighbors=4,
+                normalized_laplacian=True).fit(X, WF).transform(X)
+        assert np.all(np.isfinite(Z))
+
+    def test_objective_value_matches_pairwise_loss(self, setup):
+        X, WF = setup
+        model = PFR(n_components=2, gamma=0.7, n_neighbors=4).fit(X, WF)
+        assert model.objective_value(X, WF) == pytest.approx(
+            pairwise_loss(model.transform(X), WF)
+        )
+
+    def test_precomputed_wx_equals_internal_graph(self, rng):
+        X = rng.normal(size=(30, 3))
+        WF = pairwise_judgment_graph([(0, 1)], n=30)
+        WX = knn_graph(X, n_neighbors=5)
+        internal = PFR(n_components=2, n_neighbors=5).fit(X, WF)
+        external = PFR(n_components=2).fit(X, WF, w_x=WX)
+        np.testing.assert_allclose(
+            internal.components_, external.components_, atol=1e-10
+        )
+
+
+class TestKernelPFRVariants:
+    @pytest.mark.parametrize("rescale", ["objective", "degree", "none"])
+    @pytest.mark.parametrize("constraint", ["z", "v"])
+    def test_all_combinations_run(self, setup, rescale, constraint):
+        X, WF = setup
+        model = KernelPFR(
+            n_components=2,
+            gamma=0.5,
+            n_neighbors=4,
+            kernel="rbf",
+            rescale=rescale,
+            constraint=constraint,
+        ).fit(X, WF)
+        assert np.all(np.isfinite(model.transform(X)))
+
+    def test_invalid_constraint(self, setup):
+        X, WF = setup
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError, match="constraint"):
+            KernelPFR(constraint="w").fit(X, WF)
+
+    def test_linear_kernel_agrees_with_linear_pfr_on_embedding_loss(self, setup):
+        # Same objective family: the kernelized linear model cannot do
+        # worse than the primal on the (normalized) training objective.
+        X, WF = setup
+        WX = knn_graph(X, n_neighbors=4)
+        primal = PFR(n_components=2, gamma=1.0).fit(X, WF, w_x=WX)
+        dual = KernelPFR(n_components=2, gamma=1.0, kernel="linear").fit(
+            X, WF, w_x=WX
+        )
+
+        def normalized_loss(Z):
+            return pairwise_loss(Z / np.linalg.norm(Z), WF)
+
+        assert normalized_loss(dual.transform(X)) <= normalized_loss(
+            primal.transform(X)
+        ) * 1.05 + 1e-9

@@ -1,0 +1,176 @@
+"""Tests for the dataset simulators: synthetic admissions, COMPAS, Crime.
+
+These check Table 1 calibration (at full size), schema integrity, and the
+structural properties the experiments rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ADMISSIONS_FEATURES,
+    COMPAS_FEATURES,
+    CRIME_FEATURES,
+    simulate_admissions,
+    simulate_compas,
+    simulate_crime,
+)
+from repro.exceptions import DatasetError
+
+
+class TestAdmissions:
+    def test_shapes_and_schema(self, small_admissions):
+        data = small_admissions
+        assert data.X.shape == (120, 3)
+        assert data.feature_names == ADMISSIONS_FEATURES
+        assert data.protected_columns == (2,)
+
+    def test_group_sizes(self, small_admissions):
+        assert small_admissions.group_sizes() == {0: 60, 1: 60}
+
+    def test_protected_column_matches_s(self, small_admissions):
+        np.testing.assert_array_equal(
+            small_admissions.X[:, 2].astype(int), small_admissions.s
+        )
+
+    def test_base_rates_near_half_at_scale(self):
+        data = simulate_admissions(5000, seed=0)
+        rates = data.base_rates()
+        assert rates[0] == pytest.approx(0.51, abs=0.03)
+        assert rates[1] == pytest.approx(0.48, abs=0.03)
+
+    def test_group_zero_has_higher_sat(self):
+        data = simulate_admissions(2000, seed=1)
+        sat = data.X[:, 1]
+        assert sat[data.s == 0].mean() > sat[data.s == 1].mean() + 5.0
+
+    def test_labels_follow_group_thresholds(self, small_admissions):
+        data = small_admissions
+        total = data.X[:, 0] + data.X[:, 1]
+        for group, threshold in ((0, 210.0), (1, 200.0)):
+            members = data.s == group
+            np.testing.assert_array_equal(
+                data.y[members], (total[members] >= threshold).astype(int)
+            )
+
+    def test_deterministic_in_seed(self):
+        a = simulate_admissions(50, seed=9)
+        b = simulate_admissions(50, seed=9)
+        np.testing.assert_array_equal(a.X, b.X)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_different_seeds_differ(self):
+        a = simulate_admissions(50, seed=1)
+        b = simulate_admissions(50, seed=2)
+        assert not np.allclose(a.X, b.X)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            simulate_admissions(1)
+
+    def test_no_shuffle_orders_groups(self):
+        data = simulate_admissions(10, seed=0, shuffle=False)
+        np.testing.assert_array_equal(data.s, [0] * 10 + [1] * 10)
+
+
+class TestCompas:
+    def test_schema(self, small_compas):
+        assert small_compas.feature_names == COMPAS_FEATURES
+        assert small_compas.protected_columns == (6,)
+        assert small_compas.X.shape[1] == 7
+
+    def test_table1_calibration_full_size(self):
+        data = simulate_compas(4218, 4585, seed=0)
+        row = data.table1_row()
+        assert row["n"] == 8803
+        assert row["base_rate_s0"] == pytest.approx(0.41, abs=0.02)
+        assert row["base_rate_s1"] == pytest.approx(0.55, abs=0.02)
+
+    def test_deciles_range(self, small_compas):
+        deciles = small_compas.side_information
+        assert deciles.min() >= 1 and deciles.max() <= 10
+
+    def test_deciles_are_within_group_balanced(self):
+        # Within each group the decile histogram must be flat (deciles!).
+        data = simulate_compas(500, 500, seed=1)
+        for group in (0, 1):
+            deciles = data.side_information[data.s == group]
+            counts = np.bincount(deciles.astype(int), minlength=11)[1:]
+            assert counts.max() - counts.min() <= 2
+
+    def test_deciles_correlate_with_label(self):
+        data = simulate_compas(1000, 1000, seed=2)
+        correlation = np.corrcoef(data.side_information, data.y)[0, 1]
+        assert correlation > 0.1
+
+    def test_enforcement_inflates_protected_priors(self):
+        data = simulate_compas(1500, 1500, seed=3)
+        priors = data.X[:, 3]  # log1p_priors
+        assert priors[data.s == 1].mean() > priors[data.s == 0].mean()
+
+    def test_age_positive(self, small_compas):
+        age = small_compas.X[:, 1]
+        assert age.min() >= 18.0 and age.max() <= 70.0
+
+    def test_protected_column_matches_s(self, small_compas):
+        np.testing.assert_array_equal(
+            small_compas.X[:, 6].astype(int), small_compas.s
+        )
+
+    def test_deterministic(self):
+        a = simulate_compas(100, 100, seed=4)
+        b = simulate_compas(100, 100, seed=4)
+        np.testing.assert_array_equal(a.X, b.X)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            simulate_compas(5, 100)
+
+
+class TestCrime:
+    def test_schema(self, small_crime):
+        assert small_crime.feature_names == CRIME_FEATURES
+        assert small_crime.protected_columns == (len(CRIME_FEATURES) - 1,)
+
+    def test_table1_calibration_full_size(self):
+        data = simulate_crime(1423, 570, seed=0)
+        row = data.table1_row()
+        assert row["n"] == 1993
+        assert row["base_rate_s0"] == pytest.approx(0.35, abs=0.03)
+        assert row["base_rate_s1"] == pytest.approx(0.86, abs=0.03)
+
+    def test_ratings_partially_observed(self, small_crime):
+        ratings = small_crime.side_information
+        observed = ~np.isnan(ratings)
+        assert 0.5 < observed.mean() < 0.95
+
+    def test_ratings_in_star_range(self, small_crime):
+        ratings = small_crime.side_information
+        observed = ratings[~np.isnan(ratings)]
+        assert observed.min() >= 1.0 and observed.max() <= 5.0
+
+    def test_ratings_anticorrelate_with_violence(self):
+        data = simulate_crime(800, 320, seed=1)
+        ratings = data.side_information
+        observed = ~np.isnan(ratings)
+        correlation = np.corrcoef(ratings[observed], data.y[observed])[0, 1]
+        assert correlation < -0.2
+
+    def test_wealth_proxy_correlates_with_label(self):
+        data = simulate_crime(800, 320, seed=2)
+        income = data.X[:, 0]  # med_income
+        assert np.corrcoef(income, data.y)[0, 1] < -0.3
+
+    def test_pct_white_tracks_group(self):
+        data = simulate_crime(400, 160, seed=3)
+        pct_white = data.X[:, list(CRIME_FEATURES).index("pct_white")]
+        assert pct_white[data.s == 0].mean() > pct_white[data.s == 1].mean() + 0.3
+
+    def test_deterministic(self):
+        a = simulate_crime(100, 50, seed=5)
+        b = simulate_crime(100, 50, seed=5)
+        np.testing.assert_array_equal(a.X, b.X)
+
+    def test_metadata_has_violence_score(self, small_crime):
+        assert "violence_score" in small_crime.metadata
+        assert len(small_crime.metadata["violence_score"]) == small_crime.n_samples

@@ -1,0 +1,173 @@
+"""Tests for the real-file loaders (load_compas, load_crime) against
+synthesized fixture files."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_compas, load_crime
+from repro.exceptions import DatasetError
+
+COMPAS_HEADER = (
+    "sex,age,race,juv_fel_count,juv_misd_count,juv_other_count,priors_count,"
+    "c_charge_degree,days_b_screening_arrest,is_recid,decile_score,"
+    "two_year_recid,c_jail_in,c_jail_out"
+)
+
+
+def _compas_row(
+    *,
+    sex="Male",
+    age=30,
+    race="African-American",
+    juv=(0, 0, 0),
+    priors=2,
+    degree="F",
+    days=0,
+    is_recid=0,
+    decile=5,
+    recid=0,
+    jail_in="2013-01-01 10:00:00",
+    jail_out="2013-01-05 10:00:00",
+):
+    return (
+        f"{sex},{age},{race},{juv[0]},{juv[1]},{juv[2]},{priors},{degree},"
+        f"{days},{is_recid},{decile},{recid},{jail_in},{jail_out}"
+    )
+
+
+@pytest.fixture
+def compas_csv(tmp_path):
+    rows = [COMPAS_HEADER]
+    for i in range(20):
+        rows.append(
+            _compas_row(
+                sex="Male" if i % 2 else "Female",
+                race="African-American" if i % 2 else "Caucasian",
+                priors=i,
+                decile=(i % 10) + 1,
+                recid=i % 2,
+            )
+        )
+    # rows that the standard filters must drop:
+    rows.append(_compas_row(days=45))       # screening too far from arrest
+    rows.append(_compas_row(is_recid=-1))   # no recidivism outcome
+    rows.append(_compas_row(degree="O"))    # ordinary traffic offense
+    path = tmp_path / "compas-scores-two-years.csv"
+    path.write_text("\n".join(rows) + "\n")
+    return path
+
+
+class TestLoadCompas:
+    def test_loads_and_filters(self, compas_csv):
+        data = load_compas(compas_csv)
+        assert data.n_samples == 20  # the 3 bad rows are dropped
+        assert data.name == "compas"
+
+    def test_schema(self, compas_csv):
+        data = load_compas(compas_csv)
+        assert data.X.shape[1] == 7
+        assert data.protected_columns == (6,)
+
+    def test_race_mapping(self, compas_csv):
+        data = load_compas(compas_csv)
+        assert data.s.sum() == 10  # half the kept rows are African-American
+
+    def test_log_transforms_applied(self, compas_csv):
+        data = load_compas(compas_csv)
+        priors = data.X[:, 3]
+        assert priors.max() <= np.log1p(19) + 1e-9
+
+    def test_length_of_stay_computed(self, compas_csv):
+        data = load_compas(compas_csv)
+        los = data.X[:, 5]
+        np.testing.assert_allclose(los, np.log1p(4.0), atol=1e-9)
+
+    def test_decile_side_information(self, compas_csv):
+        data = load_compas(compas_csv)
+        assert data.side_information.min() >= 1
+        assert data.side_information.max() <= 10
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="not found"):
+            load_compas(tmp_path / "nope.csv")
+
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("sex,age\nMale,30\n")
+        with pytest.raises(DatasetError, match="missing columns"):
+            load_compas(path)
+
+    def test_too_few_rows(self, tmp_path):
+        path = tmp_path / "tiny.csv"
+        path.write_text(COMPAS_HEADER + "\n" + _compas_row() + "\n")
+        with pytest.raises(DatasetError, match="too few"):
+            load_compas(path)
+
+    def test_malformed_jail_dates_become_zero(self, tmp_path):
+        rows = [COMPAS_HEADER]
+        for i in range(10):
+            rows.append(_compas_row(jail_in="", jail_out=""))
+        path = tmp_path / "nolos.csv"
+        path.write_text("\n".join(rows) + "\n")
+        data = load_compas(path)
+        np.testing.assert_allclose(data.X[:, 5], 0.0)
+
+
+@pytest.fixture
+def crime_data_file(tmp_path):
+    rng = np.random.default_rng(0)
+    lines = []
+    for i in range(30):
+        identifiers = ["1", "2", "3", f"community{i}", "1"]
+        predictive = [f"{v:.4f}" for v in rng.random(122)]
+        # attribute 3 (racePctWhite) alternates around the 0.5 cut
+        predictive[3] = "0.80" if i % 3 else "0.20"
+        # inject some missing values
+        if i == 5:
+            predictive[10] = "?"
+        target = f"{rng.random():.4f}"
+        lines.append(",".join(identifiers + predictive + [target]))
+    path = tmp_path / "communities.data"
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestLoadCrime:
+    def test_loads(self, crime_data_file):
+        data = load_crime(crime_data_file)
+        assert data.n_samples == 30
+        assert data.name == "crime"
+
+    def test_target_median_split(self, crime_data_file):
+        data = load_crime(crime_data_file)
+        assert data.y.mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_protected_from_race_pct(self, crime_data_file):
+        data = load_crime(crime_data_file)
+        assert data.s.sum() == 10  # every third row is majority non-white
+
+    def test_missing_values_imputed(self, crime_data_file):
+        data = load_crime(crime_data_file)
+        assert np.all(np.isfinite(data.X))
+
+    def test_feature_count(self, crime_data_file):
+        data = load_crime(crime_data_file)
+        # 122 predictive attributes + appended protected indicator
+        assert data.X.shape[1] == 123
+
+    def test_wrong_field_count(self, tmp_path):
+        path = tmp_path / "broken.data"
+        path.write_text("1,2,3\n")
+        with pytest.raises(DatasetError, match="128 fields"):
+            load_crime(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="not found"):
+            load_crime(tmp_path / "missing.data")
+
+    def test_too_few_rows(self, tmp_path):
+        path = tmp_path / "short.data"
+        row = ",".join(["1"] * 128)
+        path.write_text(row + "\n")
+        with pytest.raises(DatasetError, match="too few"):
+            load_crime(path)

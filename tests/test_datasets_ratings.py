@@ -1,0 +1,96 @@
+"""Tests for repro.datasets.ratings — the niche.com-style side information."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import rating_equivalence_classes, simulate_star_ratings
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture
+def communities(rng):
+    violence = rng.normal(size=200)
+    protected = rng.integers(0, 2, 200).astype(bool)
+    return violence, protected
+
+
+class TestSimulateRatings:
+    def test_shapes(self, communities):
+        violence, protected = communities
+        ratings, counts = simulate_star_ratings(violence, protected, seed=0)
+        assert ratings.shape == (200,)
+        assert counts.shape == (200,)
+
+    def test_coverage_fraction(self, communities):
+        violence, protected = communities
+        ratings, counts = simulate_star_ratings(
+            violence, protected, coverage=0.6, seed=0
+        )
+        observed = ~np.isnan(ratings)
+        assert observed.mean() == pytest.approx(0.6, abs=0.12)
+        np.testing.assert_array_equal(observed, counts > 0)
+
+    def test_full_coverage(self, communities):
+        violence, protected = communities
+        ratings, _ = simulate_star_ratings(violence, protected, coverage=1.0, seed=0)
+        assert not np.isnan(ratings).any()
+
+    def test_star_range(self, communities):
+        violence, protected = communities
+        ratings, _ = simulate_star_ratings(violence, protected, seed=0)
+        observed = ratings[~np.isnan(ratings)]
+        assert observed.min() >= 1.0 and observed.max() <= 5.0
+
+    def test_violence_anticorrelation(self, communities):
+        violence, protected = communities
+        ratings, _ = simulate_star_ratings(violence, protected, coverage=1.0, seed=1)
+        assert np.corrcoef(ratings, violence)[0, 1] < -0.5
+
+    def test_protected_positivity_bias(self, rng):
+        violence = rng.normal(size=2000)
+        protected = np.arange(2000) % 2 == 0
+        ratings, _ = simulate_star_ratings(
+            violence, protected, coverage=1.0, protected_bias=0.8, seed=2
+        )
+        # same violence distribution in both groups by construction
+        assert ratings[protected].mean() > ratings[~protected].mean() + 0.2
+
+    def test_deterministic(self, communities):
+        violence, protected = communities
+        a, _ = simulate_star_ratings(violence, protected, seed=7)
+        b, _ = simulate_star_ratings(violence, protected, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(DatasetError, match="align"):
+            simulate_star_ratings(rng.normal(size=5), [True, False])
+
+    def test_bad_coverage(self, communities):
+        violence, protected = communities
+        with pytest.raises(DatasetError, match="coverage"):
+            simulate_star_ratings(violence, protected, coverage=0.0)
+
+    def test_bad_mean_reviews(self, communities):
+        violence, protected = communities
+        with pytest.raises(DatasetError, match="mean_reviews"):
+            simulate_star_ratings(violence, protected, mean_reviews=0)
+
+
+class TestEquivalenceClasses:
+    def test_whole_star_classes(self):
+        classes = rating_equivalence_classes([1.2, 1.4, 2.6, np.nan])
+        assert classes[0] == classes[1] == 1
+        assert classes[2] == 3
+        assert classes[3] == -1
+
+    def test_half_star_resolution(self):
+        classes = rating_equivalence_classes([1.2, 1.4, 1.6], resolution=0.5)
+        assert classes[0] != classes[2]
+
+    def test_all_nan(self):
+        classes = rating_equivalence_classes([np.nan, np.nan])
+        np.testing.assert_array_equal(classes, [-1, -1])
+
+    def test_invalid_resolution(self):
+        with pytest.raises(DatasetError, match="resolution"):
+            rating_equivalence_classes([1.0], resolution=0.0)

@@ -1,0 +1,18 @@
+"""Execute the doctests embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.pfr
+import repro.exceptions
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.core.pfr, repro.exceptions],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, raise_on_error=False, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"

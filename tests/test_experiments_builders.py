@@ -1,0 +1,90 @@
+"""Tests for repro.experiments.builders — the public WF constructors."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments import build_fairness_graph, fairness_side_scores
+from repro.graphs import edge_count
+
+
+class TestFairnessSideScores:
+    def test_passthrough_for_datasets_with_side_info(self, small_compas):
+        scores = fairness_side_scores(small_compas)
+        np.testing.assert_array_equal(scores, small_compas.side_information)
+
+    def test_synthetic_scores_derived(self, small_admissions):
+        scores = fairness_side_scores(small_admissions)
+        assert scores.shape == (small_admissions.n_samples,)
+        assert scores.min() >= 0.0 and scores.max() <= 1.0
+
+    def test_synthetic_scores_rank_candidates_sensibly(self, small_admissions):
+        # Higher GPA+SAT within a group must mean a (weakly) higher score.
+        scores = fairness_side_scores(small_admissions)
+        data = small_admissions
+        for g in (0, 1):
+            members = data.s == g
+            total = data.X[members, 0] + data.X[members, 1]
+            correlation = np.corrcoef(total, scores[members])[0, 1]
+            assert correlation > 0.8
+
+    def test_train_indices_limit_label_exposure(self, small_admissions):
+        train = np.arange(0, small_admissions.n_samples, 2)
+        scores = fairness_side_scores(small_admissions, train_indices=train)
+        assert np.all(np.isfinite(scores))
+
+    def test_tiny_group_rejected(self, small_admissions):
+        with pytest.raises(ValidationError, match="fewer than 2"):
+            only_one_per_group = np.array(
+                [
+                    np.flatnonzero(small_admissions.s == 0)[0],
+                    np.flatnonzero(small_admissions.s == 1)[0],
+                    np.flatnonzero(small_admissions.s == 0)[1],
+                ]
+            )[:2]
+            fairness_side_scores(
+                small_admissions, train_indices=only_one_per_group
+            )
+
+
+class TestBuildFairnessGraph:
+    def test_synthetic_quantile_graph(self, small_admissions):
+        W = build_fairness_graph(small_admissions, n_quantiles=5)
+        rows, cols = W.nonzero()
+        assert np.all(small_admissions.s[rows] != small_admissions.s[cols])
+
+    def test_compas_quantile_graph(self, small_compas):
+        W = build_fairness_graph(small_compas)
+        assert W.shape == (small_compas.n_samples,) * 2
+        assert edge_count(W) > 0
+
+    def test_crime_equivalence_graph(self, small_crime):
+        W = build_fairness_graph(small_crime)
+        # unreviewed communities are isolated
+        unreviewed = np.flatnonzero(np.isnan(small_crime.side_information))
+        degrees = np.asarray(W.sum(axis=1)).ravel()
+        assert np.all(degrees[unreviewed] == 0)
+
+    def test_crime_edges_are_within_rating_class(self, small_crime):
+        from repro.datasets import rating_equivalence_classes
+
+        W = build_fairness_graph(small_crime, rating_resolution=1.0)
+        classes = rating_equivalence_classes(small_crime.side_information)
+        rows, cols = W.nonzero()
+        np.testing.assert_array_equal(classes[rows], classes[cols])
+
+    def test_precomputed_scores_respected(self, small_compas):
+        constant = np.ones(small_compas.n_samples)
+        W = build_fairness_graph(small_compas, scores=constant)
+        # all-equal scores put everyone in one quantile: complete bipartite
+        sizes = small_compas.group_sizes()
+        assert edge_count(W) == sizes[0] * sizes[1]
+
+    def test_matches_harness_graph(self, small_admissions):
+        from repro.experiments import ExperimentHarness
+
+        harness = ExperimentHarness(small_admissions, seed=0).prepare()
+        W = build_fairness_graph(
+            small_admissions, train_indices=harness.train_idx
+        )
+        assert (W != harness.W_fair_full).nnz == 0

@@ -1,0 +1,152 @@
+"""Tests for repro.experiments.harness — the paper's protocol."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments import ExperimentHarness, within_group_ranking_scores
+from repro.metrics import restrict_graph
+
+
+@pytest.fixture
+def harness(small_admissions):
+    return ExperimentHarness(small_admissions, seed=0, n_components=2).prepare()
+
+
+class TestPreparation:
+    def test_split_is_partition(self, harness, small_admissions):
+        joined = np.sort(np.concatenate([harness.train_idx, harness.test_idx]))
+        np.testing.assert_array_equal(joined, np.arange(small_admissions.n_samples))
+
+    def test_split_stratified(self, harness):
+        train_rate = harness.y_train.mean()
+        test_rate = harness.y_test.mean()
+        assert abs(train_rate - test_rate) < 0.1
+
+    def test_scaler_fit_on_train_only(self, harness, small_admissions):
+        train_scaled = harness.X_train
+        np.testing.assert_allclose(train_scaled.mean(axis=0), 0.0, atol=1e-10)
+
+    def test_fairness_graph_covers_population(self, harness, small_admissions):
+        assert harness.W_fair_full.shape == (
+            small_admissions.n_samples,
+            small_admissions.n_samples,
+        )
+
+    def test_train_graph_is_restriction(self, harness):
+        expected = restrict_graph(harness.W_fair_full, harness.train_idx)
+        assert (harness.W_fair_train != expected).nnz == 0
+
+    def test_prepare_idempotent(self, harness):
+        train_before = harness.train_idx.copy()
+        harness.prepare()
+        np.testing.assert_array_equal(harness.train_idx, train_before)
+
+    def test_quantile_graph_cross_group_only(self, harness, small_admissions):
+        rows, cols = harness.W_fair_full.nonzero()
+        s = small_admissions.s
+        assert np.all(s[rows] != s[cols])
+
+
+class TestRunMethod:
+    @pytest.mark.parametrize("method", ["original", "pfr", "original+"])
+    def test_fast_methods_produce_valid_results(self, harness, method):
+        result = harness.run_method(method, gamma=0.8)
+        assert 0.0 <= result.auc <= 1.0
+        assert 0.0 <= result.consistency_wx <= 1.0
+        assert 0.0 <= result.consistency_wf <= 1.0
+        assert result.method == method
+
+    def test_ifair_and_lfr_run(self, harness):
+        for method in ("ifair", "lfr"):
+            result = harness.run_method(method, max_iter=5, n_prototypes=3)
+            assert np.isfinite(result.auc)
+
+    def test_hardt_runs(self, harness):
+        result = harness.run_method("hardt")
+        assert "expected_error" in result.extras
+        assert 0.0 <= result.auc <= 1.0
+
+    def test_kernel_pfr_runs(self, harness):
+        result = harness.run_method("kpfr", gamma=0.8)
+        assert np.isfinite(result.auc)
+        assert result.method == "kpfr"
+
+    def test_unknown_method(self, harness):
+        with pytest.raises(ValidationError, match="unknown method"):
+            harness.run_method("mystery")
+
+    def test_summary_keys(self, harness):
+        summary = harness.run_method("original").summary()
+        assert set(summary) >= {
+            "method",
+            "auc",
+            "consistency_wx",
+            "consistency_wf",
+            "parity_gap",
+            "fpr_gap",
+            "fnr_gap",
+        }
+
+    def test_run_methods_batch(self, harness):
+        results = harness.run_methods(["original", "pfr"], gamma=0.5)
+        assert set(results) == {"original", "pfr"}
+
+    def test_deterministic(self, small_admissions):
+        a = ExperimentHarness(small_admissions, seed=3, n_components=2)
+        b = ExperimentHarness(small_admissions, seed=3, n_components=2)
+        assert a.run_method("pfr").auc == b.run_method("pfr").auc
+
+
+class TestGammaSweep:
+    def test_sweep_length(self, harness):
+        sweep = harness.gamma_sweep([0.0, 0.5, 1.0])
+        assert len(sweep) == 3
+
+    def test_synthetic_sweep_shapes(self, admissions):
+        # The paper's Figure 4 claims on the full-size synthetic dataset.
+        harness = ExperimentHarness(admissions, seed=0, n_components=2)
+        sweep = harness.gamma_sweep([0.0, 0.9])
+        assert sweep[1].consistency_wf > sweep[0].consistency_wf
+        assert sweep[1].auc > sweep[0].auc
+
+
+class TestTune:
+    def test_grid_search_returns_best(self, harness):
+        out = harness.tune(
+            "pfr", {"gamma": [0.1, 0.9], "C": [1.0]}, n_splits=3
+        )
+        assert out["best_params"]["gamma"] in (0.1, 0.9)
+        assert len(out["results"]) == 2
+        assert out["best_score"] >= max(
+            r["mean_score"] for r in out["results"]
+        ) - 1e-12
+
+    def test_tune_original(self, harness):
+        out = harness.tune("original", {"C": [0.1, 10.0]}, n_splits=3)
+        assert "C" in out["best_params"]
+
+    def test_tune_rejects_hardt(self, harness):
+        with pytest.raises(ValidationError, match="does not support"):
+            harness.tune("hardt", {"C": [1.0]})
+
+
+class TestRankingScores:
+    def test_scores_in_unit_interval(self, binary_problem):
+        X, y = binary_problem
+        s = np.arange(len(y)) % 2
+        scores = within_group_ranking_scores(X, y, s)
+        assert scores.min() >= 0.0 and scores.max() <= 1.0
+
+    def test_rankings_are_within_group(self, rng):
+        # Shifting one group's features must not change the other group's
+        # scores at all.
+        X = rng.normal(size=(60, 3))
+        y = rng.integers(0, 2, 60)
+        y[:4] = [0, 1, 0, 1]
+        s = np.repeat([0, 1], 30)
+        base = within_group_ranking_scores(X, y, s)
+        X_shifted = X.copy()
+        X_shifted[s == 1] += 100.0
+        shifted = within_group_ranking_scores(X_shifted, y, s)
+        np.testing.assert_allclose(base[s == 0], shifted[s == 0])

@@ -1,0 +1,51 @@
+"""Tests for repro.experiments.summary and the report CLI command."""
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import ValidationError
+from repro.experiments.summary import workload_report
+
+
+class TestWorkloadReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return workload_report("synthetic", scale=0.3, seed=0,
+                               gammas=(0.0, 1.0))
+
+    def test_sections_present(self, report):
+        for section in ("== dataset ==", "== fairness graph ==",
+                        "== methods ==", "== PFR Pareto frontier"):
+            assert section in report
+
+    def test_all_methods_listed(self, report):
+        for method in ("original", "ifair", "lfr", "pfr", "hardt"):
+            assert method in report
+
+    def test_header_records_provenance(self, report):
+        assert "scale=0.3" in report
+        assert "seed=0" in report
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValidationError, match="unknown dataset"):
+            workload_report("mnist")
+
+
+class TestReportCommand:
+    def test_cli_report(self, capsys):
+        assert main(["report", "synthetic", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "workload report: synthetic" in out
+        assert "Pareto" in out
+
+    def test_cli_report_output_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        assert main(
+            ["report", "synthetic", "--scale", "0.2", "--output", str(target)]
+        ) == 0
+        capsys.readouterr()
+        assert "== methods ==" in target.read_text()
+
+    def test_cli_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["report", "cifar"])

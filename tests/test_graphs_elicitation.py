@@ -1,0 +1,171 @@
+"""Tests for repro.graphs.elicitation — simulated human judgments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphConstructionError
+from repro.graphs import (
+    equivalence_class_graph,
+    equivalence_classes_from_pairs,
+    likert_judgments,
+    noisy_pairwise_judgments,
+)
+
+
+class TestLikertJudgments:
+    def test_range_and_coverage(self, rng):
+        suitability = rng.normal(size=100)
+        levels = likert_judgments(suitability, n_levels=5, coverage=0.7, seed=0)
+        judged = levels[levels != -1]
+        assert judged.min() >= 1 and judged.max() <= 5
+        assert 0.5 < (levels != -1).mean() < 0.9
+
+    def test_noiseless_judge_is_monotone(self, rng):
+        suitability = rng.normal(size=60)
+        levels = likert_judgments(suitability, n_levels=4, judge_noise=0.0, seed=0)
+        order = np.argsort(suitability)
+        assert np.all(np.diff(levels[order]) >= 0)
+
+    def test_noiseless_quantile_bands_balanced(self):
+        levels = likert_judgments(np.arange(100.0), n_levels=5, seed=0)
+        counts = np.bincount(levels, minlength=6)[1:]
+        assert counts.max() - counts.min() <= 1
+
+    def test_noise_scrambles_judgments(self, rng):
+        suitability = rng.normal(size=200)
+        clean = likert_judgments(suitability, n_levels=5, judge_noise=0.0, seed=1)
+        noisy = likert_judgments(suitability, n_levels=5, judge_noise=0.5, seed=1)
+        assert (clean != noisy).mean() > 0.2
+
+    def test_deterministic(self, rng):
+        suitability = rng.normal(size=50)
+        a = likert_judgments(suitability, seed=9, coverage=0.8)
+        b = likert_judgments(suitability, seed=9, coverage=0.8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_feeds_equivalence_graph(self, rng):
+        suitability = rng.normal(size=40)
+        levels = likert_judgments(suitability, n_levels=3, coverage=0.8, seed=0)
+        W = equivalence_class_graph(levels, mask=levels != -1)
+        assert W.shape == (40, 40)
+
+    def test_invalid_levels(self):
+        with pytest.raises(GraphConstructionError, match="n_levels"):
+            likert_judgments([1.0, 2.0], n_levels=1)
+
+    def test_invalid_noise(self):
+        with pytest.raises(GraphConstructionError, match="judge_noise"):
+            likert_judgments([1.0, 2.0], judge_noise=-0.1)
+
+    def test_invalid_coverage(self):
+        with pytest.raises(GraphConstructionError, match="coverage"):
+            likert_judgments([1.0, 2.0], coverage=0.0)
+
+
+class TestNoisyPairwiseJudgments:
+    @pytest.fixture
+    def classes(self):
+        return np.repeat([0, 1, 2, 3], 10)
+
+    def test_perfect_judge(self, classes):
+        positives, asked = noisy_pairwise_judgments(
+            classes, n_pairs=500, seed=0
+        )
+        assert len(asked) == 500
+        for i, j in positives:
+            assert classes[i] == classes[j]
+
+    def test_no_self_pairs(self, classes):
+        _, asked = noisy_pairwise_judgments(classes, n_pairs=300, seed=1)
+        assert np.all(asked[:, 0] != asked[:, 1])
+
+    def test_false_positives_appear(self, classes):
+        positives, _ = noisy_pairwise_judgments(
+            classes, n_pairs=2000, false_positive_rate=0.5, seed=2
+        )
+        wrong = sum(1 for i, j in positives if classes[i] != classes[j])
+        assert wrong > 100
+
+    def test_false_negatives_suppress(self, classes):
+        full, _ = noisy_pairwise_judgments(classes, n_pairs=2000, seed=3)
+        lossy, _ = noisy_pairwise_judgments(
+            classes, n_pairs=2000, false_negative_rate=0.9, seed=3
+        )
+        assert len(lossy) < len(full) * 0.4
+
+    def test_unclassed_individuals_never_similar(self):
+        classes = np.array([-1, -1, 5, 5])
+        positives, _ = noisy_pairwise_judgments(classes, n_pairs=400, seed=4)
+        for i, j in positives:
+            assert classes[i] == classes[j] != -1
+
+    def test_invalid_rates(self, classes):
+        with pytest.raises(GraphConstructionError, match="false_positive_rate"):
+            noisy_pairwise_judgments(classes, n_pairs=5, false_positive_rate=2.0)
+
+    def test_needs_pairs(self, classes):
+        with pytest.raises(GraphConstructionError, match="n_pairs"):
+            noisy_pairwise_judgments(classes, n_pairs=0)
+
+    def test_needs_two_individuals(self):
+        with pytest.raises(GraphConstructionError, match="two individuals"):
+            noisy_pairwise_judgments([0], n_pairs=1)
+
+
+class TestUnionFind:
+    def test_transitive_closure(self):
+        classes = equivalence_classes_from_pairs([(0, 1), (1, 2)], n=5)
+        assert classes[0] == classes[1] == classes[2] != -1
+        assert classes[3] == classes[4] == -1
+
+    def test_disjoint_components(self):
+        classes = equivalence_classes_from_pairs([(0, 1), (2, 3)], n=4)
+        assert classes[0] == classes[1]
+        assert classes[2] == classes[3]
+        assert classes[0] != classes[2]
+
+    def test_empty_pairs(self):
+        classes = equivalence_classes_from_pairs([], n=3)
+        np.testing.assert_array_equal(classes, [-1, -1, -1])
+
+    def test_long_chain(self):
+        pairs = [(i, i + 1) for i in range(99)]
+        classes = equivalence_classes_from_pairs(pairs, n=100)
+        assert len(set(classes.tolist())) == 1
+
+    def test_out_of_range(self):
+        with pytest.raises(GraphConstructionError):
+            equivalence_classes_from_pairs([(0, 9)], n=3)
+
+    def test_recovers_ground_truth_from_noiseless_judgments(self, rng):
+        truth = rng.integers(0, 4, size=30)
+        positives, _ = noisy_pairwise_judgments(truth, n_pairs=5000, seed=0)
+        recovered = equivalence_classes_from_pairs(positives, n=30)
+        # With dense noiseless sampling the recovered partition must refine
+        # to exactly the ground-truth partition on judged individuals.
+        for c in np.unique(recovered[recovered != -1]):
+            members = recovered == c
+            assert len(np.unique(truth[members])) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    n=st.integers(4, 40),
+    n_pairs=st.integers(1, 200),
+)
+def test_union_find_is_valid_partition_property(seed, n, n_pairs):
+    """Recovered classes are a valid partition refinement: every judged
+    pair's endpoints share a class, and class ids are contiguous."""
+    rng = np.random.default_rng(seed)
+    truth = rng.integers(0, 3, size=n)
+    positives, _ = noisy_pairwise_judgments(
+        truth, n_pairs=n_pairs, false_positive_rate=0.2, seed=seed
+    )
+    classes = equivalence_classes_from_pairs(positives, n=n)
+    for i, j in positives:
+        assert classes[i] == classes[j] != -1
+    used = np.unique(classes[classes != -1])
+    np.testing.assert_array_equal(used, np.arange(len(used)))

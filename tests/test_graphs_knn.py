@@ -1,0 +1,125 @@
+"""Tests for repro.graphs.knn — the data-similarity graph WX."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import GraphConstructionError
+from repro.graphs import knn_graph, median_heuristic, pairwise_sq_distances
+
+
+class TestPairwiseDistances:
+    def test_matches_direct_computation(self, rng):
+        X = rng.normal(size=(12, 4))
+        D = pairwise_sq_distances(X)
+        direct = ((X[:, None, :] - X[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(D, direct, atol=1e-9)
+
+    def test_zero_diagonal(self, rng):
+        X = rng.normal(size=(8, 3))
+        np.testing.assert_allclose(np.diag(pairwise_sq_distances(X)), 0.0, atol=1e-9)
+
+    def test_cross_distances(self, rng):
+        X = rng.normal(size=(5, 2))
+        Y = rng.normal(size=(7, 2))
+        D = pairwise_sq_distances(X, Y)
+        assert D.shape == (5, 7)
+        assert D.min() >= 0.0
+
+    def test_never_negative_despite_cancellation(self):
+        X = np.array([[1e8, 1e8], [1e8, 1e8]])
+        assert pairwise_sq_distances(X).min() >= 0.0
+
+
+class TestMedianHeuristic:
+    def test_positive(self, rng):
+        assert median_heuristic(rng.normal(size=(30, 3))) > 0
+
+    def test_degenerate_data(self):
+        assert median_heuristic(np.ones((10, 2))) == 1.0
+
+    def test_subsampling_is_stable(self, rng):
+        X = rng.normal(size=(5000, 2))
+        full = median_heuristic(X, sample_size=5000)
+        sampled = median_heuristic(X, sample_size=500)
+        assert sampled == pytest.approx(full, rel=0.3)
+
+
+class TestKnnGraph:
+    def test_shape_and_sparsity(self, rng):
+        X = rng.normal(size=(50, 3))
+        W = knn_graph(X, n_neighbors=5)
+        assert W.shape == (50, 50)
+        assert sp.issparse(W)
+
+    def test_symmetric(self, knn_setup):
+        _, W = knn_setup
+        assert (abs(W - W.T)).nnz == 0
+
+    def test_zero_diagonal(self, knn_setup):
+        _, W = knn_setup
+        assert np.all(W.diagonal() == 0.0)
+
+    def test_weights_in_unit_interval(self, knn_setup):
+        _, W = knn_setup
+        assert W.data.min() > 0.0
+        assert W.data.max() <= 1.0
+
+    def test_min_degree_is_k(self, rng):
+        # The OR rule guarantees every node keeps at least its own k edges.
+        X = rng.normal(size=(40, 3))
+        W = knn_graph(X, n_neighbors=4, binary=True)
+        degrees = np.asarray((W > 0).sum(axis=1)).ravel()
+        assert degrees.min() >= 4
+
+    def test_nearest_neighbor_connected(self, rng):
+        X = rng.normal(size=(30, 2))
+        W = knn_graph(X, n_neighbors=3).toarray()
+        D = pairwise_sq_distances(X)
+        np.fill_diagonal(D, np.inf)
+        nearest = D.argmin(axis=1)
+        for i, j in enumerate(nearest):
+            assert W[i, j] > 0.0
+
+    def test_closer_neighbors_heavier(self, rng):
+        X = rng.normal(size=(30, 2))
+        W = knn_graph(X, n_neighbors=5)
+        D = pairwise_sq_distances(X)
+        rows, cols = W.nonzero()
+        weights = np.asarray(W[rows, cols]).ravel()
+        order = np.argsort(D[rows, cols])
+        assert np.all(np.diff(weights[order]) <= 1e-12)
+
+    def test_exclude_columns(self, rng):
+        # A huge protected column must not affect the graph when excluded.
+        X = rng.normal(size=(30, 2))
+        protected = rng.integers(0, 2, 30) * 1000.0
+        X_aug = np.column_stack([X, protected])
+        W_plain = knn_graph(X, n_neighbors=4, bandwidth=1.0)
+        W_excl = knn_graph(X_aug, n_neighbors=4, bandwidth=1.0, exclude=[2])
+        np.testing.assert_allclose(W_plain.toarray(), W_excl.toarray(), atol=1e-12)
+
+    def test_binary_mode(self, rng):
+        W = knn_graph(rng.normal(size=(20, 2)), n_neighbors=3, binary=True)
+        assert set(np.unique(W.data)) == {1.0}
+
+    def test_bandwidth_controls_decay(self, rng):
+        X = rng.normal(size=(25, 2))
+        tight = knn_graph(X, n_neighbors=5, bandwidth=0.01)
+        loose = knn_graph(X, n_neighbors=5, bandwidth=100.0)
+        assert tight.data.mean() < loose.data.mean()
+
+    def test_invalid_neighbors(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(GraphConstructionError):
+            knn_graph(X, n_neighbors=10)
+        with pytest.raises(GraphConstructionError):
+            knn_graph(X, n_neighbors=0)
+
+    def test_invalid_bandwidth(self, rng):
+        with pytest.raises(GraphConstructionError, match="bandwidth"):
+            knn_graph(rng.normal(size=(10, 2)), n_neighbors=2, bandwidth=-1.0)
+
+    def test_exclude_everything_rejected(self, rng):
+        with pytest.raises(GraphConstructionError, match="every feature"):
+            knn_graph(rng.normal(size=(10, 2)), n_neighbors=2, exclude=[0, 1])

@@ -1,0 +1,100 @@
+"""Tests for repro.graphs.quantiles — Definition 2 machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.graphs import quantile_bucket, within_group_quantiles
+
+
+class TestQuantileBucket:
+    def test_even_split(self):
+        buckets = quantile_bucket(np.arange(10, dtype=float), 2)
+        np.testing.assert_array_equal(buckets, [0] * 5 + [1] * 5)
+
+    def test_deciles(self):
+        buckets = quantile_bucket(np.arange(100, dtype=float), 10)
+        counts = np.bincount(buckets, minlength=10)
+        np.testing.assert_array_equal(counts, [10] * 10)
+
+    def test_order_invariance(self, rng):
+        scores = rng.random(50)
+        order = rng.permutation(50)
+        b1 = quantile_bucket(scores, 5)
+        b2 = quantile_bucket(scores[order], 5)
+        np.testing.assert_array_equal(b1[order], b2)
+
+    def test_ties_share_bucket(self):
+        scores = np.array([1.0, 1.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        buckets = quantile_bucket(scores, 4)
+        assert buckets[0] == buckets[1] == buckets[2]
+
+    def test_monotone_in_score(self, rng):
+        scores = rng.random(60)
+        buckets = quantile_bucket(scores, 6)
+        order = np.argsort(scores)
+        assert np.all(np.diff(buckets[order]) >= 0)
+
+    def test_single_bucket(self):
+        assert set(quantile_bucket([1.0, 2.0, 3.0], 1)) == {0}
+
+    def test_empty_input(self):
+        assert quantile_bucket(np.empty(0), 3).shape == (0,)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValidationError):
+            quantile_bucket([1.0], 0)
+
+    def test_range(self, rng):
+        buckets = quantile_bucket(rng.normal(size=37), 10)
+        assert buckets.min() >= 0 and buckets.max() <= 9
+
+
+class TestWithinGroupQuantiles:
+    def test_groups_bucketed_independently(self):
+        # Group 1's scores are uniformly higher, but within-group bucketing
+        # must ignore the between-group shift entirely.
+        scores = np.array([1.0, 2.0, 3.0, 4.0, 101.0, 102.0, 103.0, 104.0])
+        groups = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        buckets = within_group_quantiles(scores, groups, 2)
+        np.testing.assert_array_equal(buckets, [0, 0, 1, 1, 0, 0, 1, 1])
+
+    def test_shift_invariance_per_group(self, rng):
+        scores = rng.random(40)
+        groups = np.repeat([0, 1], 20)
+        shifted = scores + 100.0 * groups
+        np.testing.assert_array_equal(
+            within_group_quantiles(scores, groups, 4),
+            within_group_quantiles(shifted, groups, 4),
+        )
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError, match="align"):
+            within_group_quantiles([1.0, 2.0], [0], 2)
+
+    def test_multigroup(self, rng):
+        scores = rng.random(90)
+        groups = np.repeat([0, 1, 2], 30)
+        buckets = within_group_quantiles(scores, groups, 3)
+        for g in (0, 1, 2):
+            counts = np.bincount(buckets[groups == g], minlength=3)
+            np.testing.assert_array_equal(counts, [10, 10, 10])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    scores=st.lists(
+        st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=80
+    ),
+    n_quantiles=st.integers(1, 10),
+)
+def test_bucket_range_property(scores, n_quantiles):
+    """Buckets always land in [0, q-1] and are monotone in score."""
+    buckets = quantile_bucket(np.asarray(scores), n_quantiles)
+    assert buckets.min() >= 0
+    assert buckets.max() <= n_quantiles - 1
+    order = np.argsort(np.asarray(scores), kind="stable")
+    sorted_buckets = buckets[order]
+    assert np.all(np.diff(sorted_buckets) >= 0)

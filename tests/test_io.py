@@ -1,0 +1,105 @@
+"""Tests for repro.io — pickle-free model persistence."""
+
+import numpy as np
+import pytest
+
+from repro import PFR, load_model, save_model
+from repro.core import KernelPFR
+from repro.exceptions import ValidationError
+from repro.graphs import pairwise_judgment_graph
+from repro.ml import LogisticRegression, StandardScaler
+
+
+@pytest.fixture
+def fitted_models(rng):
+    X = rng.normal(size=(40, 4))
+    y = (X[:, 0] > 0).astype(int)
+    WF = pairwise_judgment_graph([(0, 1), (5, 9)], n=40)
+    return {
+        "pfr": PFR(n_components=2, gamma=0.7, n_neighbors=4).fit(X, WF),
+        "kpfr": KernelPFR(n_components=2, kernel="rbf", n_neighbors=4).fit(X, WF),
+        "lr": LogisticRegression(C=3.0).fit(X, y),
+        "scaler": StandardScaler().fit(X),
+        "X": X,
+    }
+
+
+class TestRoundtrip:
+    def test_pfr(self, fitted_models, tmp_path):
+        model = fitted_models["pfr"]
+        X = fitted_models["X"]
+        path = save_model(model, tmp_path / "pfr")
+        restored = load_model(path)
+        np.testing.assert_allclose(restored.transform(X), model.transform(X))
+        assert restored.gamma == 0.7
+
+    def test_kernel_pfr(self, fitted_models, tmp_path):
+        model = fitted_models["kpfr"]
+        X = fitted_models["X"]
+        path = save_model(model, tmp_path / "kpfr.npz")
+        restored = load_model(path)
+        np.testing.assert_allclose(
+            restored.transform(X), model.transform(X), atol=1e-12
+        )
+
+    def test_logistic_regression(self, fitted_models, tmp_path):
+        model = fitted_models["lr"]
+        X = fitted_models["X"]
+        restored = load_model(save_model(model, tmp_path / "lr"))
+        np.testing.assert_allclose(
+            restored.predict_proba(X), model.predict_proba(X)
+        )
+        assert restored.C == 3.0
+
+    def test_standard_scaler(self, fitted_models, tmp_path):
+        model = fitted_models["scaler"]
+        X = fitted_models["X"]
+        restored = load_model(save_model(model, tmp_path / "scaler"))
+        np.testing.assert_allclose(restored.transform(X), model.transform(X))
+
+    def test_full_deployment_pair(self, fitted_models, tmp_path):
+        """Representation + classifier round-trip: the deployable artifact."""
+        X = fitted_models["X"]
+        pfr = fitted_models["pfr"]
+        Z = pfr.transform(X)
+        clf = LogisticRegression().fit(Z, (Z[:, 0] > 0).astype(int))
+        p1 = save_model(pfr, tmp_path / "representation")
+        p2 = save_model(clf, tmp_path / "classifier")
+        predictions = load_model(p2).predict(load_model(p1).transform(X))
+        np.testing.assert_array_equal(predictions, clf.predict(Z))
+
+    def test_npz_suffix_added(self, fitted_models, tmp_path):
+        path = save_model(fitted_models["scaler"], tmp_path / "m")
+        assert path.suffix == ".npz"
+
+    def test_kernel_pfr_linear_kernel_none_bandwidth(self, rng, tmp_path):
+        # linear kernels leave _fitted_bandwidth as None — the None-marker
+        # round-trip path.
+        X = rng.normal(size=(25, 3))
+        WF = pairwise_judgment_graph([(0, 1)], n=25)
+        model = KernelPFR(n_components=2, kernel="linear").fit(X, WF)
+        restored = load_model(save_model(model, tmp_path / "linear"))
+        assert restored._fitted_bandwidth is None
+        np.testing.assert_allclose(restored.transform(X), model.transform(X))
+
+
+class TestErrors:
+    def test_unfitted_model_rejected(self, tmp_path):
+        with pytest.raises(Exception):
+            save_model(PFR(), tmp_path / "x")
+
+    def test_unsupported_type_rejected(self, tmp_path):
+        from repro.baselines import IFair
+
+        with pytest.raises(ValidationError, match="cannot save"):
+            save_model(IFair(), tmp_path / "x")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="not found"):
+            load_model(tmp_path / "missing.npz")
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(ValidationError, match="not a repro model"):
+            load_model(path)

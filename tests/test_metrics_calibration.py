@@ -1,0 +1,94 @@
+"""Tests for per-group calibration metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics import calibration_by_group, calibration_gap
+
+
+@pytest.fixture
+def perfectly_calibrated(rng):
+    """Scores that are exactly the conditional positive probability, for
+    both groups."""
+    n = 20000
+    s = rng.integers(0, 2, n)
+    scores = rng.random(n)
+    y = (rng.random(n) < scores).astype(int)
+    return y, scores, s
+
+
+class TestCalibrationByGroup:
+    def test_structure(self, perfectly_calibrated):
+        y, scores, s = perfectly_calibrated
+        curves = calibration_by_group(y, scores, s, n_bins=5)
+        assert set(curves) == {0, 1}
+        for curve in curves.values():
+            assert curve["bin_center"].shape == (5,)
+            assert curve["observed_rate"].shape == (5,)
+            assert curve["count"].sum() > 0
+
+    def test_calibrated_scores_track_bin_centers(self, perfectly_calibrated):
+        y, scores, s = perfectly_calibrated
+        curves = calibration_by_group(y, scores, s, n_bins=5)
+        for curve in curves.values():
+            np.testing.assert_allclose(
+                curve["observed_rate"], curve["bin_center"], atol=0.05
+            )
+
+    def test_counts_partition_group(self, perfectly_calibrated):
+        y, scores, s = perfectly_calibrated
+        curves = calibration_by_group(y, scores, s, n_bins=10)
+        for value, curve in curves.items():
+            assert curve["count"].sum() == int(np.sum(s == value))
+
+    def test_empty_bin_is_nan(self):
+        y = np.array([0, 1, 0, 1])
+        scores = np.array([0.05, 0.05, 0.06, 0.07])  # everything in bin 0
+        s = np.array([0, 0, 1, 1])
+        curves = calibration_by_group(y, scores, s, n_bins=10)
+        assert np.isnan(curves[0]["observed_rate"][5])
+
+    def test_score_range_validated(self):
+        with pytest.raises(ValidationError, match="probabilities"):
+            calibration_by_group([0, 1], [0.5, 1.5], [0, 1])
+
+    def test_n_bins_validated(self):
+        with pytest.raises(ValidationError, match="n_bins"):
+            calibration_by_group([0, 1], [0.5, 0.5], [0, 1], n_bins=1)
+
+
+class TestCalibrationGap:
+    def test_near_zero_for_calibrated_scores(self, perfectly_calibrated):
+        y, scores, s = perfectly_calibrated
+        assert calibration_gap(y, scores, s, n_bins=5) < 0.1
+
+    def test_detects_group_miscalibration(self, rng):
+        # Same score distribution, but for group 1 the true rate is shifted
+        # +0.3 at every score level — a within-group-normed score.
+        n = 20000
+        s = rng.integers(0, 2, n)
+        scores = rng.uniform(0.05, 0.65, n)
+        true_rate = np.clip(scores + 0.3 * s, 0, 1)
+        y = (rng.random(n) < true_rate).astype(int)
+        gap = calibration_gap(y, scores, s, n_bins=5)
+        assert gap > 0.2
+
+    def test_nan_when_no_shared_bins(self):
+        y = np.array([0, 1, 0, 1])
+        scores = np.array([0.1, 0.1, 0.9, 0.9])
+        s = np.array([0, 0, 1, 1])
+        assert np.isnan(calibration_gap(y, scores, s, n_bins=2)) or (
+            calibration_gap(y, scores, s, n_bins=2) >= 0
+        )
+
+    def test_compas_deciles_are_miscalibrated_across_groups(self):
+        # The simulator's within-group-normed deciles must carry different
+        # rearrest rates per group at the same decile — ProPublica's core
+        # observation, and the premise behind the paper's §4.3.1 warning.
+        from repro.datasets import simulate_compas
+
+        data = simulate_compas(2000, 2000, seed=0)
+        decile_scores = (data.side_information - 1.0) / 9.0
+        gap = calibration_gap(data.y, decile_scores, data.s, n_bins=10)
+        assert gap > 0.05

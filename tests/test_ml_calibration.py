@@ -1,0 +1,111 @@
+"""Tests for repro.ml.calibration — Platt scaling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.metrics import calibration_gap
+from repro.ml import (
+    CalibratedClassifier,
+    LogisticRegression,
+    PlattCalibrator,
+    brier_score,
+    roc_auc_score,
+)
+
+
+@pytest.fixture
+def miscalibrated_scores(rng):
+    """Scores that rank perfectly but sit on the wrong scale."""
+    n = 3000
+    latent = rng.normal(size=n)
+    y = (rng.random(n) < 1 / (1 + np.exp(-2.0 * latent))).astype(int)
+    raw = 0.2 * latent - 1.0  # squashed and shifted
+    return raw, y
+
+
+class TestPlattCalibrator:
+    def test_improves_brier_score(self, miscalibrated_scores):
+        raw, y = miscalibrated_scores
+        calibrated = PlattCalibrator().fit(raw, y).predict_proba_positive(raw)
+        squashed = 1 / (1 + np.exp(-raw))
+        assert brier_score(y, calibrated) < brier_score(y, squashed) - 0.01
+
+    def test_preserves_ranking(self, miscalibrated_scores):
+        raw, y = miscalibrated_scores
+        calibrated = PlattCalibrator().fit(raw, y).predict_proba_positive(raw)
+        assert roc_auc_score(y, calibrated) == pytest.approx(
+            roc_auc_score(y, raw), abs=1e-9
+        )
+
+    def test_recovers_true_sigmoid_slope(self, rng):
+        n = 20000
+        scores = rng.normal(size=n)
+        y = (rng.random(n) < 1 / (1 + np.exp(-(3.0 * scores + 0.5)))).astype(int)
+        calibrator = PlattCalibrator().fit(scores, y)
+        assert calibrator.a_ == pytest.approx(3.0, abs=0.3)
+        assert calibrator.b_ == pytest.approx(0.5, abs=0.2)
+
+    def test_output_in_unit_interval(self, miscalibrated_scores):
+        raw, y = miscalibrated_scores
+        p = PlattCalibrator().fit(raw, y).predict_proba_positive(raw)
+        assert p.min() >= 0.0 and p.max() <= 1.0
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValidationError, match="both classes"):
+            PlattCalibrator().fit([0.1, 0.2], [1, 1])
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            PlattCalibrator().predict_proba_positive([0.5])
+
+
+class TestCalibratedClassifier:
+    def test_wraps_logistic_regression(self, binary_problem):
+        X, y = binary_problem
+        base = LogisticRegression(C=1e-3).fit(X, y)  # over-regularized
+        wrapped = CalibratedClassifier(base=base).fit(X, y)
+        assert brier_score(y, wrapped.predict_proba(X)[:, 1]) <= brier_score(
+            y, base.predict_proba(X)[:, 1]
+        ) + 1e-9
+
+    def test_predict_threshold(self, binary_problem):
+        X, y = binary_problem
+        base = LogisticRegression().fit(X, y)
+        strict = CalibratedClassifier(base=base, threshold=0.9).fit(X, y)
+        lax = CalibratedClassifier(base=base, threshold=0.1).fit(X, y)
+        assert strict.predict(X).mean() < lax.predict(X).mean()
+
+    def test_proba_rows_sum_to_one(self, binary_problem):
+        X, y = binary_problem
+        wrapped = CalibratedClassifier(
+            base=LogisticRegression().fit(X, y)
+        ).fit(X, y)
+        np.testing.assert_allclose(
+            wrapped.predict_proba(X).sum(axis=1), 1.0
+        )
+
+    def test_requires_base(self, binary_problem):
+        X, y = binary_problem
+        with pytest.raises(ValidationError, match="base estimator"):
+            CalibratedClassifier().fit(X, y)
+
+    def test_invalid_threshold(self, binary_problem):
+        X, y = binary_problem
+        base = LogisticRegression().fit(X, y)
+        with pytest.raises(ValidationError, match="threshold"):
+            CalibratedClassifier(base=base, threshold=1.5).fit(X, y)
+
+    def test_reduces_group_calibration_gap_on_compas(self):
+        # Calibrating the decile scores per the pooled population narrows
+        # (though cannot eliminate) the cross-group reliability gap.
+        from repro.datasets import simulate_compas
+
+        data = simulate_compas(1500, 1500, seed=0)
+        deciles = (data.side_information - 1.0) / 9.0
+        raw_gap = calibration_gap(data.y, deciles, data.s, n_bins=5)
+        calibrated = PlattCalibrator().fit(deciles, data.y)
+        adjusted = calibrated.predict_proba_positive(deciles)
+        new_gap = calibration_gap(data.y, adjusted, data.s, n_bins=5)
+        assert np.isfinite(new_gap)
+        assert new_gap <= raw_gap + 0.05  # pooled Platt cannot widen it much

@@ -1,0 +1,89 @@
+"""Tests for the extended classification metrics (PR curve, AP, balanced
+accuracy)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml import (
+    average_precision_score,
+    balanced_accuracy_score,
+    precision_recall_curve,
+)
+
+
+def reference_average_precision(y_true, y_score) -> float:
+    """AP as the mean of precision at each positive's rank (ties by stable
+    descending order)."""
+    order = np.argsort(-np.asarray(y_score), kind="stable")
+    sorted_true = np.asarray(y_true)[order]
+    hits = 0
+    total = 0.0
+    for k, label in enumerate(sorted_true, start=1):
+        if label == 1:
+            hits += 1
+            total += hits / k
+    return total / max(hits, 1)
+
+
+class TestBalancedAccuracy:
+    def test_perfect(self):
+        assert balanced_accuracy_score([0, 1, 0, 1], [0, 1, 0, 1]) == 1.0
+
+    def test_majority_vote_is_half(self):
+        y = np.array([0] * 90 + [1] * 10)
+        pred = np.zeros(100, dtype=int)
+        assert balanced_accuracy_score(y, pred) == pytest.approx(0.5)
+
+    def test_hand_computed(self):
+        y = np.array([1, 1, 0, 0])
+        pred = np.array([1, 0, 0, 1])
+        # TPR = 0.5, TNR = 0.5
+        assert balanced_accuracy_score(y, pred) == pytest.approx(0.5)
+
+
+class TestPrecisionRecallCurve:
+    def test_perfect_ranking(self):
+        p, r, t = precision_recall_curve([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9])
+        assert p[0] == 1.0 and r[0] == 0.5  # top-1 is a positive
+        assert r[-1] == 0.0 and p[-1] == 1.0  # appended closing point
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_recall_reaches_one(self):
+        p, r, _ = precision_recall_curve([1, 0, 1], [0.9, 0.5, 0.1])
+        assert r.max() == 1.0
+
+    def test_threshold_count_matches_distinct_scores(self):
+        _, _, t = precision_recall_curve([0, 1, 0, 1], [0.1, 0.5, 0.5, 0.9])
+        assert len(t) == 3  # distinct scores 0.9, 0.5, 0.1
+
+    def test_requires_positives(self):
+        with pytest.raises(ValidationError, match="positive"):
+            precision_recall_curve([0, 0], [0.1, 0.2])
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision_score([0, 1, 1], [0.1, 0.8, 0.9]) == 1.0
+
+    def test_worst_ranking(self):
+        # one positive ranked last among 4
+        ap = average_precision_score([1, 0, 0, 0], [0.1, 0.9, 0.8, 0.7])
+        assert ap == pytest.approx(0.25)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_reference_without_ties(self, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, 50)
+        y[:2] = [0, 1]
+        scores = rng.permutation(50).astype(float)  # distinct scores
+        assert average_precision_score(y, scores) == pytest.approx(
+            reference_average_precision(y, scores)
+        )
+
+    def test_bounded(self, rng):
+        y = rng.integers(0, 2, 40)
+        y[:2] = [0, 1]
+        scores = rng.random(40)
+        ap = average_precision_score(y, scores)
+        assert 0.0 < ap <= 1.0

@@ -1,0 +1,78 @@
+"""Tests for repro.ml.pipeline — estimator composition."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml import LogisticRegression, Pipeline, StandardScaler
+
+
+@pytest.fixture
+def pipe():
+    return Pipeline(
+        steps=[("scale", StandardScaler()), ("clf", LogisticRegression(C=2.0))]
+    )
+
+
+class TestPipeline:
+    def test_fit_predict(self, pipe, binary_problem):
+        X, y = binary_problem
+        pipe.fit(X, y)
+        assert pipe.predict(X).shape == (len(y),)
+        assert pipe.score(X, y) > 0.8
+
+    def test_matches_manual_chain(self, pipe, binary_problem):
+        X, y = binary_problem
+        pipe.fit(X, y)
+        scaler = StandardScaler().fit(X)
+        clf = LogisticRegression(C=2.0).fit(scaler.transform(X), y)
+        np.testing.assert_allclose(
+            pipe.predict_proba(X), clf.predict_proba(scaler.transform(X)), atol=1e-8
+        )
+
+    def test_decision_function_passthrough(self, pipe, binary_problem):
+        X, y = binary_problem
+        pipe.fit(X, y)
+        assert pipe.decision_function(X).shape == (len(y),)
+
+    def test_named_steps(self, pipe):
+        assert isinstance(pipe.named_steps["scale"], StandardScaler)
+
+    def test_nested_params_in_get_params(self, pipe):
+        params = pipe.get_params()
+        assert params["clf__C"] == 2.0
+
+    def test_set_nested_params(self, pipe):
+        pipe.set_params(clf__C=5.0)
+        assert pipe.named_steps["clf"].C == 5.0
+
+    def test_set_unknown_step(self, pipe):
+        with pytest.raises(ValidationError, match="no step"):
+            pipe.set_params(bogus__C=1.0)
+
+    def test_set_non_nested_key_rejected(self, pipe):
+        with pytest.raises(ValidationError, match="unknown Pipeline parameter"):
+            pipe.set_params(C=1.0)
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            Pipeline(steps=[]).fit(np.ones((2, 2)), [0, 1])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError, match="unique"):
+            Pipeline(
+                steps=[("a", StandardScaler()), ("a", StandardScaler())]
+            ).fit(np.ones((2, 2)))
+
+    def test_intermediate_must_transform(self, binary_problem):
+        X, y = binary_problem
+        bad = Pipeline(
+            steps=[("clf", LogisticRegression()), ("clf2", LogisticRegression())]
+        )
+        with pytest.raises(ValidationError, match="transform"):
+            bad.fit(X, y)
+
+    def test_transform_only_pipeline(self, small_X):
+        pipe = Pipeline(steps=[("scale", StandardScaler())])
+        Z = pipe.fit(small_X).transform(small_X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-12)

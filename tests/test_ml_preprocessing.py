@@ -1,0 +1,143 @@
+"""Tests for repro.ml.preprocessing — scalers and one-hot encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ml import MinMaxScaler, OneHotEncoder, StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, small_X):
+        Z = StandardScaler().fit_transform(small_X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_column_not_divided_by_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        np.testing.assert_allclose(Z[:, 0], 0.0)
+
+    def test_inverse_transform_roundtrip(self, small_X):
+        scaler = StandardScaler().fit(small_X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(small_X)), small_X, atol=1e-10
+        )
+
+    def test_transform_uses_training_statistics(self, small_X, rng):
+        scaler = StandardScaler().fit(small_X)
+        other = rng.normal(5.0, 2.0, size=(10, small_X.shape[1]))
+        Z = scaler.transform(other)
+        np.testing.assert_allclose(Z, (other - scaler.mean_) / scaler.scale_)
+
+    def test_without_mean(self, small_X):
+        Z = StandardScaler(with_mean=False).fit_transform(small_X)
+        assert not np.allclose(Z.mean(axis=0), 0.0, atol=1e-6)
+
+    def test_without_std(self, small_X):
+        scaler = StandardScaler(with_std=False).fit(small_X)
+        np.testing.assert_allclose(scaler.scale_, 1.0)
+
+    def test_feature_mismatch_raises(self, small_X):
+        scaler = StandardScaler().fit(small_X)
+        with pytest.raises(ValidationError, match="features"):
+            scaler.transform(small_X[:, :2])
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+
+class TestMinMaxScaler:
+    def test_unit_interval(self, small_X):
+        Z = MinMaxScaler().fit_transform(small_X)
+        np.testing.assert_allclose(Z.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(Z.max(axis=0), 1.0, atol=1e-12)
+
+    def test_custom_range(self, small_X):
+        Z = MinMaxScaler(feature_range=(-1.0, 1.0)).fit_transform(small_X)
+        np.testing.assert_allclose(Z.min(axis=0), -1.0, atol=1e-12)
+        np.testing.assert_allclose(Z.max(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_column_maps_to_lower_bound(self):
+        X = np.column_stack([np.full(5, 3.0), np.arange(5, dtype=float)])
+        Z = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(Z[:, 0], 0.0)
+
+    def test_inverse_roundtrip(self, small_X):
+        scaler = MinMaxScaler(feature_range=(2.0, 5.0)).fit(small_X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(small_X)), small_X, atol=1e-10
+        )
+
+    def test_invalid_range(self):
+        with pytest.raises(ValidationError, match="increasing"):
+            MinMaxScaler(feature_range=(1.0, 1.0)).fit(np.ones((3, 1)))
+
+
+class TestOneHotEncoder:
+    def test_basic_encoding(self):
+        X = np.array([["a"], ["b"], ["a"], ["c"]])
+        encoder = OneHotEncoder().fit(X)
+        Z = encoder.transform(X)
+        assert Z.shape == (4, 3)
+        np.testing.assert_allclose(Z.sum(axis=1), 1.0)
+
+    def test_multiple_columns(self):
+        X = np.array([[0, "x"], [1, "y"], [0, "x"]], dtype=object)
+        Z = OneHotEncoder().fit_transform(X)
+        assert Z.shape == (3, 4)
+
+    def test_drop_first(self):
+        X = np.array([["a"], ["b"], ["c"]])
+        Z = OneHotEncoder(drop_first=True).fit_transform(X)
+        assert Z.shape == (3, 2)
+        np.testing.assert_allclose(Z[0], [0.0, 0.0])  # first category dropped
+
+    def test_unknown_raises_by_default(self):
+        encoder = OneHotEncoder().fit(np.array([["a"], ["b"]]))
+        with pytest.raises(ValidationError, match="unseen"):
+            encoder.transform(np.array([["z"]]))
+
+    def test_unknown_ignored_when_asked(self):
+        encoder = OneHotEncoder(handle_unknown="ignore").fit(np.array([["a"], ["b"]]))
+        Z = encoder.transform(np.array([["z"]]))
+        np.testing.assert_allclose(Z, [[0.0, 0.0]])
+
+    def test_invalid_handle_unknown(self):
+        with pytest.raises(ValidationError, match="handle_unknown"):
+            OneHotEncoder(handle_unknown="boom").fit(np.array([["a"]]))
+
+    def test_feature_names(self):
+        encoder = OneHotEncoder().fit(np.array([["a"], ["b"]]))
+        assert encoder.get_feature_names(["color"]) == ["color=a", "color=b"]
+
+    def test_feature_names_drop_first(self):
+        encoder = OneHotEncoder(drop_first=True).fit(np.array([["a"], ["b"]]))
+        assert encoder.get_feature_names(["c"]) == ["c=b"]
+
+    def test_integer_categories(self):
+        X = np.array([[1], [3], [1], [2]])
+        Z = OneHotEncoder().fit_transform(X)
+        assert Z.shape == (4, 3)
+        np.testing.assert_allclose(Z[:, 0], [1.0, 0.0, 1.0, 0.0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    X=arrays(
+        np.float64,
+        st.tuples(st.integers(2, 30), st.integers(1, 6)),
+        elements=st.floats(-1e6, 1e6, allow_nan=False),
+    )
+)
+def test_standard_scaler_idempotent_property(X):
+    """Scaling already-scaled data is (numerically) a no-op."""
+    scaler = StandardScaler()
+    once = scaler.fit_transform(X)
+    twice = StandardScaler().fit_transform(once)
+    np.testing.assert_allclose(once, twice, atol=1e-7)
