@@ -17,6 +17,10 @@ Quickstart
 >>> scores = within_group_ranking_scores(data.nonprotected_view(), data.y, data.s)
 >>> WF = between_group_quantile_graph(scores, data.s, n_quantiles=10)
 >>> Z = PFR(n_components=2, gamma=0.9).fit(data.X, WF).transform(data.X)
+
+Fitted models deploy through :mod:`repro.serving`: a versioned model
+registry plus a batched, cached :class:`~repro.serving.TransformService`
+(see ``examples/serving_pipeline.py`` and the README).
 """
 
 from .baselines import (
@@ -57,7 +61,19 @@ from .metrics import (
     group_rates,
 )
 
-__version__ = "1.0.0"
+from ._version import __version__
+
+
+def __getattr__(name):
+    # Lazy subpackage: `repro.serving` (threads, registry machinery) loads
+    # only when first touched, keeping `import repro` and the experiment
+    # CLI paths free of the serving stack (PEP 562). Uses importlib
+    # directly: a `from . import serving` here would re-enter __getattr__.
+    if name == "serving":
+        import importlib
+
+        return importlib.import_module(".serving", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "PFR",
@@ -89,5 +105,6 @@ __all__ = [
     "group_rates",
     "load_model",
     "save_model",
+    "serving",
     "__version__",
 ]

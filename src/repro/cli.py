@@ -1,25 +1,50 @@
-"""Command-line interface: regenerate any of the paper's experiments.
+"""Command-line interface: reproduce experiments and serve fitted models.
 
 Usage::
 
     python -m repro list
     python -m repro run figure2 [--scale 0.5] [--seed 0] [--output out.txt]
     python -m repro run all --scale 0.25
+    python -m repro report crime [--scale 0.5]
+
+    python -m repro models register NAME artifact.npz [--registry DIR]
+    python -m repro models list [--registry DIR]
+    python -m repro models show NAME[@VERSION] [--registry DIR]
+    python -m repro models promote NAME VERSION [--registry DIR]
+    python -m repro transform NAME[@VERSION] --input rows.csv [--output z.csv]
 
 ``run`` executes the experiment's driver, prints the ASCII rendering, and
 optionally writes it to a file. ``list`` shows every experiment with the
-qualitative shapes the reproduction is expected to exhibit.
+qualitative shapes the reproduction is expected to exhibit. The ``models``
+family manages the versioned model registry (:mod:`repro.serving`) and
+``transform`` pushes a CSV of feature rows through a registered model.
+
+The registry directory defaults to the ``REPRO_REGISTRY`` environment
+variable, falling back to ``~/.repro/registry``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from pathlib import Path
 
+import numpy as np
+
+from .exceptions import ReproError
 from .experiments import EXPERIMENTS, get_experiment
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "default_registry_root"]
+
+
+def default_registry_root() -> Path:
+    """Registry location: ``$REPRO_REGISTRY`` or ``~/.repro/registry``."""
+    root = os.environ.get("REPRO_REGISTRY")
+    if root:
+        return Path(root)
+    return Path.home() / ".repro" / "registry"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,6 +75,51 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--scale", type=float, default=1.0)
     report.add_argument("--seed", type=int, default=0)
     report.add_argument("--output", default=None)
+
+    models = subparsers.add_parser(
+        "models", help="manage the versioned model registry"
+    )
+    models_sub = models.add_subparsers(dest="models_command", required=True)
+
+    register = models_sub.add_parser(
+        "register", help="register a saved model artifact as a new version"
+    )
+    register.add_argument("name", help="model name (letters, digits, . _ -)")
+    register.add_argument("artifact", help="path to a .npz written by save_model")
+    register.add_argument("--registry", default=None, help="registry directory")
+    register.add_argument(
+        "--no-promote", action="store_true",
+        help="register without moving the 'latest' pointer",
+    )
+
+    list_models = models_sub.add_parser(
+        "list", help="list registered models (latest version each)"
+    )
+    list_models.add_argument("--registry", default=None)
+
+    show = models_sub.add_parser(
+        "show", help="show the manifest of NAME or NAME@VERSION"
+    )
+    show.add_argument("spec", help="model name, optionally with @version")
+    show.add_argument("--registry", default=None)
+
+    promote = models_sub.add_parser(
+        "promote", help="point NAME@latest at an existing version"
+    )
+    promote.add_argument("name")
+    promote.add_argument("version", type=int)
+    promote.add_argument("--registry", default=None)
+
+    transform = subparsers.add_parser(
+        "transform", help="transform a CSV of feature rows through a model"
+    )
+    transform.add_argument("spec", help="model name, optionally with @version")
+    transform.add_argument("--input", required=True,
+                           help="CSV file of feature rows (no header)")
+    transform.add_argument("--output", default=None,
+                           help="write the representation CSV here "
+                                "(default: stdout)")
+    transform.add_argument("--registry", default=None)
     return parser
 
 
@@ -57,6 +127,111 @@ def _run_one(experiment_id: str, *, scale: float, seed: int) -> str:
     spec = get_experiment(experiment_id)
     result = spec.driver(scale=scale, seed=seed)
     return result.render()
+
+
+def _registry(args):
+    from .serving import ModelRegistry
+
+    root = Path(args.registry) if args.registry else default_registry_root()
+    return ModelRegistry(root)
+
+
+def _cmd_models(args) -> int:
+    from .io import load_model
+
+    registry = _registry(args)
+    if args.models_command == "register":
+        model = load_model(args.artifact)
+        record = registry.register(
+            args.name, model, promote=not args.no_promote
+        )
+        print(
+            f"registered {record.spec} ({record.model_type}, "
+            f"{record.n_features_in} features)"
+            + ("" if record.is_latest else " [not promoted]")
+        )
+        return 0
+
+    if args.models_command == "list":
+        records = registry.list_models()
+        if not records:
+            print("no models registered")
+            return 0
+        print(f"{'NAME':24s} {'LATEST':>6s} {'TYPE':20s} {'FEATURES':>8s} {'LIB':8s}")
+        for record in records:
+            features = "-" if record.n_features_in is None else str(record.n_features_in)
+            # An unpromoted-only name shows its highest version in parens.
+            version = (
+                str(record.version) if record.is_latest else f"({record.version})"
+            )
+            print(
+                f"{record.name:24s} {version:>6s} "
+                f"{record.model_type:20s} {features:>8s} "
+                f"{record.library_version:8s}"
+            )
+        return 0
+
+    if args.models_command == "show":
+        name, _, selector = args.spec.partition("@")
+        if selector:
+            name, version = registry.resolve(args.spec)
+        else:
+            try:
+                name, version = registry.resolve(name)
+            except ReproError:
+                # Canary registrations (--no-promote on a fresh name) have
+                # no promoted version yet; show the highest one, exactly
+                # like `models list` does. Unknown names re-raise below.
+                version = registry.versions(name)[-1].version
+        record = registry.record(name, version)
+        versions = [r.version for r in registry.versions(name)]
+        print(f"name:            {record.name}")
+        print(f"version:         {record.version}"
+              + (" (latest)" if record.is_latest else ""))
+        print(f"model_type:      {record.model_type}")
+        print(f"library_version: {record.library_version}")
+        print(f"n_features_in:   {record.n_features_in}")
+        print(f"excluded_cols:   {record.excluded_columns}")
+        print(f"artifact:        {record.path}")
+        print(f"all_versions:    {versions}")
+        print(f"params:          {json.dumps(record.params, sort_keys=True)}")
+        return 0
+
+    # promote
+    record = registry.promote(args.name, args.version)
+    print(f"promoted {record.spec} to latest")
+    return 0
+
+
+def _cmd_transform(args) -> int:
+    from .serving import TransformService
+
+    input_path = Path(args.input)
+    if not input_path.exists():
+        print(f"error: input file not found: {input_path}", file=sys.stderr)
+        return 2
+    X = np.loadtxt(input_path, delimiter=",", ndmin=2)
+    if X.size == 0:
+        print(f"error: {input_path} contains no data rows", file=sys.stderr)
+        return 2
+
+    # One-shot process: a result cache would only be thrown away at exit,
+    # so skip the digest/copy bookkeeping entirely.
+    service = TransformService(_registry(args), cache_size=0)
+    Z = service.transform(args.spec, X)
+
+    if args.output:
+        np.savetxt(args.output, Z, delimiter=",", fmt="%.12g")
+        print(f"wrote {Z.shape[0]} x {Z.shape[1]} representation to {args.output}")
+    else:
+        try:
+            np.savetxt(sys.stdout, Z, delimiter=",", fmt="%.12g")
+        except BrokenPipeError:
+            # Downstream consumer (e.g. `| head`) closed the pipe; that is
+            # its prerogative, not an error. Redirect stdout so the
+            # interpreter's shutdown flush doesn't raise again.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
 
 
 def main(argv=None) -> int:
@@ -78,6 +253,20 @@ def main(argv=None) -> int:
         if args.output:
             Path(args.output).write_text(text + "\n", encoding="utf-8")
         return 0
+
+    if args.command == "models":
+        try:
+            return _cmd_models(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.command == "transform":
+        try:
+            return _cmd_transform(args)
+        except (ReproError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     targets = (
         list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -6,26 +6,72 @@ both to a single ``.npz`` file — plain numpy arrays plus a JSON header —
 so saved models are portable, inspectable, and safe to load (no arbitrary
 code execution, unlike pickle).
 
-Supported estimators: :class:`repro.core.PFR`,
-:class:`repro.core.KernelPFR`, :class:`repro.ml.LogisticRegression`, and
-:class:`repro.ml.StandardScaler`.
+Every fitted estimator exported from :mod:`repro` is supported: the core
+transformers (:class:`~repro.core.PFR`, :class:`~repro.core.KernelPFR`),
+every baseline (:class:`~repro.baselines.IFair`,
+:class:`~repro.baselines.LFR`, :class:`~repro.baselines.MaskedRepresentation`,
+:class:`~repro.baselines.SideInformationAugmenter`,
+:class:`~repro.baselines.EqualizedOddsPostProcessor`) and the ml substrate
+(:class:`~repro.ml.LogisticRegression`, :class:`~repro.ml.StandardScaler`).
+
+Artifacts are stamped with the library ``__version__`` at save time and the
+stamp is verified at load time: a file written by a different *major*
+version raises :class:`~repro.exceptions.ValidationError` instead of
+silently deserializing state whose meaning may have changed. The serving
+model registry (:mod:`repro.serving.registry`) builds on this guarantee.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
 from ._validation import check_is_fitted
+from ._version import __version__
+from .baselines import (
+    EqualizedOddsPostProcessor,
+    IFair,
+    LFR,
+    MaskedRepresentation,
+    SideInformationAugmenter,
+)
 from .core import PFR, KernelPFR
 from .exceptions import ValidationError
 from .ml import LogisticRegression, StandardScaler
 
-__all__ = ["save_model", "load_model"]
+__all__ = ["save_model", "load_model", "read_header", "supported_model_types"]
 
-_FORMAT_VERSION = 1
+# Format 2 == format 1 plus the mandatory ``library_version`` stamp.
+_FORMAT_VERSION = 2
+_READABLE_FORMATS = (1, 2)
+
+
+def _pack_equalized_odds(model) -> dict:
+    """Flatten the per-group mixing dict into parallel arrays."""
+    groups = np.asarray(model.groups_)
+    table = np.array(
+        [model.mix_probabilities_[group] for group in model.groups_],
+        dtype=np.float64,
+    )
+    return {
+        "groups_": groups,
+        "mix_table": table,
+        "expected_error_": np.asarray(model.expected_error_),
+    }
+
+
+def _unpack_equalized_odds(model, arrays: dict) -> None:
+    groups = arrays["groups_"]
+    table = arrays["mix_table"]
+    model.groups_ = groups
+    model.mix_probabilities_ = {
+        group: (float(row[0]), float(row[1])) for group, row in zip(groups, table)
+    }
+    model.expected_error_ = float(arrays["expected_error_"])
+
 
 # model type name -> (class, fitted attributes persisted as arrays)
 _REGISTRY = {
@@ -42,6 +88,29 @@ _REGISTRY = {
         StandardScaler,
         ("mean_", "scale_", "n_features_in_"),
     ),
+    "IFair": (
+        IFair,
+        ("prototypes_", "feature_weights_", "loss_", "n_iter_", "n_features_in_"),
+    ),
+    "LFR": (
+        LFR,
+        ("prototypes_", "label_weights_", "loss_", "n_iter_", "n_features_in_"),
+    ),
+    "MaskedRepresentation": (
+        MaskedRepresentation,
+        ("keep_columns_", "n_features_in_"),
+    ),
+    "SideInformationAugmenter": (
+        SideInformationAugmenter,
+        (
+            "means_",
+            "n_features_in_",
+            "n_side_columns_",
+            "_train_side",
+            "_train_rows",
+        ),
+    ),
+    "EqualizedOddsPostProcessor": (EqualizedOddsPostProcessor, ()),
 }
 
 _CHECK_ATTRIBUTE = {
@@ -49,15 +118,35 @@ _CHECK_ATTRIBUTE = {
     "KernelPFR": "alphas_",
     "LogisticRegression": "coef_",
     "StandardScaler": "mean_",
+    "IFair": "prototypes_",
+    "LFR": "prototypes_",
+    "MaskedRepresentation": "keep_columns_",
+    "SideInformationAugmenter": "means_",
+    "EqualizedOddsPostProcessor": "mix_probabilities_",
 }
+
+# Estimators whose fitted state does not fit the flat-attribute scheme
+# (e.g. dict-valued attributes) provide explicit pack/unpack hooks.
+_PACK_HOOKS = {"EqualizedOddsPostProcessor": _pack_equalized_odds}
+_UNPACK_HOOKS = {"EqualizedOddsPostProcessor": _unpack_equalized_odds}
+
+# Hyper-parameters that hold whole arrays (potentially training-set sized)
+# are persisted as npz arrays rather than inlined into the JSON header,
+# keeping read_header() cheap regardless of training-set size.
+_ARRAY_PARAMS = {"SideInformationAugmenter": ("side_information",)}
+
+
+def supported_model_types() -> list[str]:
+    """Names of the estimator classes :func:`save_model` can serialize."""
+    return sorted(_REGISTRY)
 
 
 def save_model(model, path) -> Path:
     """Serialize a fitted estimator to ``path`` (.npz appended if missing).
 
-    Hyper-parameters are stored as a JSON header; fitted state as numpy
-    arrays. Raises :class:`ValidationError` for unsupported or unfitted
-    models.
+    Hyper-parameters are stored as a JSON header together with the library
+    ``__version__``; fitted state as numpy arrays. Raises
+    :class:`ValidationError` for unsupported or unfitted models.
     """
     type_name = type(model).__name__
     if type_name not in _REGISTRY:
@@ -67,17 +156,33 @@ def save_model(model, path) -> Path:
     check_is_fitted(model, _CHECK_ATTRIBUTE[type_name])
     _, fitted_attributes = _REGISTRY[type_name]
 
+    array_params = _ARRAY_PARAMS.get(type_name, ())
     header = {
         "format_version": _FORMAT_VERSION,
+        "library_version": __version__,
         "model_type": type_name,
-        "params": _jsonable_params(model.get_params()),
+        "params": _jsonable_params({
+            key: value
+            for key, value in model.get_params().items()
+            if key not in array_params
+        }),
     }
     arrays = {}
+    for name in array_params:
+        value = getattr(model, name, None)
+        if value is None:
+            arrays[f"_none_param__{name}"] = np.array(0)
+        else:
+            arrays[f"param__{name}"] = np.asarray(value, dtype=np.float64)
     for name in fitted_attributes:
         value = getattr(model, name, None)
         if value is None:
             arrays[f"_none__{name}"] = np.array(0)
         else:
+            arrays[f"attr__{name}"] = np.asarray(value)
+    pack = _PACK_HOOKS.get(type_name)
+    if pack is not None:
+        for name, value in pack(model).items():
             arrays[f"attr__{name}"] = np.asarray(value)
 
     path = Path(path)
@@ -89,26 +194,40 @@ def save_model(model, path) -> Path:
     return path
 
 
-def load_model(path):
-    """Load an estimator saved by :func:`save_model`."""
+def read_header(path) -> dict:
+    """Return the validated JSON header of a saved model without loading it.
+
+    The header carries ``model_type``, ``params``, ``format_version`` and
+    (format >= 2) ``library_version`` — everything a registry needs to
+    describe an artifact cheaply.
+    """
     path = Path(path)
     if not path.exists():
         raise ValidationError(f"model file not found: {path}")
-    with np.load(path, allow_pickle=False) as archive:
-        try:
-            header = json.loads(bytes(archive["header"]).decode("utf-8"))
-        except (KeyError, json.JSONDecodeError) as exc:
-            raise ValidationError(f"{path} is not a repro model file: {exc}") from exc
-        if header.get("format_version") != _FORMAT_VERSION:
-            raise ValidationError(
-                f"unsupported model format {header.get('format_version')!r}"
-            )
-        type_name = header.get("model_type")
-        if type_name not in _REGISTRY:
-            raise ValidationError(f"unknown model type {type_name!r}")
+    with _open_archive(path) as archive:
+        return _validated_header(archive, path)
+
+
+def load_model(path):
+    """Load an estimator saved by :func:`save_model`.
+
+    Raises :class:`ValidationError` when the file is missing, malformed, or
+    was written by an incompatible (different major) library version.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"model file not found: {path}")
+    with _open_archive(path) as archive:
+        header = _validated_header(archive, path)
+        type_name = header["model_type"]
         cls, fitted_attributes = _REGISTRY[type_name]
 
         model = cls(**header["params"])
+        for name in _ARRAY_PARAMS.get(type_name, ()):
+            if f"_none_param__{name}" in archive:
+                setattr(model, name, None)
+            elif f"param__{name}" in archive:
+                setattr(model, name, archive[f"param__{name}"])
         for name in fitted_attributes:
             key = f"attr__{name}"
             none_key = f"_none__{name}"
@@ -117,7 +236,70 @@ def load_model(path):
                 continue
             value = archive[key]
             setattr(model, name, _restore_scalar(value))
+        unpack = _UNPACK_HOOKS.get(type_name)
+        if unpack is not None:
+            unpack(model, {
+                key[len("attr__"):]: archive[key]
+                for key in archive.files
+                if key.startswith("attr__")
+            })
     return model
+
+
+def _open_archive(path: Path):
+    """np.load with its failure modes normalized to :class:`ValidationError`.
+
+    Garbage bytes raise ValueError, truncated/corrupt zips raise
+    zipfile.BadZipFile (not an OSError subclass) — callers were promised
+    ValidationError for malformed files.
+    """
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except (ValueError, OSError, zipfile.BadZipFile) as exc:
+        raise ValidationError(f"{path} is not a repro model file: {exc}") from exc
+    if not isinstance(archive, np.lib.npyio.NpzFile):
+        # A bare .npy payload loads as an ndarray, not an archive.
+        raise ValidationError(
+            f"{path} is not a repro model file: not an npz archive"
+        )
+    return archive
+
+
+def _validated_header(archive, path: Path) -> dict:
+    """Parse and validate the JSON header of an open npz archive."""
+    try:
+        header = json.loads(bytes(archive["header"]).decode("utf-8"))
+    except (KeyError, json.JSONDecodeError) as exc:
+        raise ValidationError(f"{path} is not a repro model file: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ValidationError(
+            f"{path} is not a repro model file: header is not a JSON object"
+        )
+    format_version = header.get("format_version")
+    if format_version not in _READABLE_FORMATS:
+        raise ValidationError(f"unsupported model format {format_version!r}")
+    if format_version >= 2:
+        _check_library_version(header.get("library_version"), path)
+    type_name = header.get("model_type")
+    if type_name not in _REGISTRY:
+        raise ValidationError(f"unknown model type {type_name!r}")
+    return header
+
+
+def _check_library_version(saved: object, path: Path) -> None:
+    """Reject artifacts written by an incompatible (different major) release."""
+    if not isinstance(saved, str) or not saved:
+        raise ValidationError(
+            f"{path} lacks a library_version stamp; refusing to load"
+        )
+    saved_major = saved.split(".", 1)[0]
+    current_major = __version__.split(".", 1)[0]
+    if saved_major != current_major:
+        raise ValidationError(
+            f"{path} was saved by repro {saved} which is incompatible with "
+            f"the installed repro {__version__} (major version mismatch); "
+            "re-fit and re-save the model with this version"
+        )
 
 
 def _jsonable_params(params: dict) -> dict:

@@ -20,7 +20,7 @@ import inspect
 
 import numpy as np
 
-from ..exceptions import ValidationError
+from ..exceptions import NotFittedError, ValidationError
 
 __all__ = ["BaseEstimator", "TransformerMixin", "ClassifierMixin", "clone"]
 
@@ -75,6 +75,23 @@ class BaseEstimator:
 
 class TransformerMixin:
     """Adds ``fit_transform`` to estimators exposing ``fit`` and ``transform``."""
+
+    @property
+    def input_dim(self) -> int:
+        """Number of input features the fitted transformer accepts.
+
+        Backed by the ``n_features_in_`` attribute every transformer in this
+        library records during ``fit``; raises :class:`NotFittedError` before
+        ``fit``. Serving-layer schema checks (:mod:`repro.serving`) rely on
+        this being available uniformly across estimator types.
+        """
+        value = getattr(self, "n_features_in_", None)
+        if value is None:
+            raise NotFittedError(
+                f"{type(self).__name__} is not fitted yet; input_dim is only "
+                "defined after fit()"
+            )
+        return int(value)
 
     def fit_transform(self, X, y=None, **fit_params):
         """Fit to ``X`` (optionally with labels ``y``) and return the transform of ``X``."""

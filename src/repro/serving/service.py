@@ -1,0 +1,310 @@
+"""`TransformService` — the façade tying registry, batching and cache together.
+
+This is the object an online decision-making system would hold: it resolves
+``name@version`` specs against a :class:`~repro.serving.registry.ModelRegistry`,
+keeps the deserialized estimators warm in memory, routes bulk requests
+through the chunked :class:`~repro.serving.batching.BatchTransformer`,
+serves repeated rows straight from a per-model
+:class:`~repro.serving.cache.LRUCache`, and counts everything so operators
+can see hit rates and throughput.
+
+The service is thread-safe: model loading is double-checked under a lock,
+caches lock internally, and the counters are guarded separately, so many
+request threads can call :meth:`transform` concurrently — the intended
+deployment shape behind an HTTP or RPC front end.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..io import load_model
+from .batching import BatchTransformer, MicroBatcher
+from .cache import LRUCache, matrix_digests, row_digest
+from .registry import ModelRegistry, ModelRecord
+
+__all__ = ["TransformService"]
+
+
+@dataclass
+class _ServedModel:
+    """A loaded model plus its serving machinery and counters."""
+
+    record: ModelRecord
+    model: object
+    batcher: BatchTransformer
+    cache: LRUCache
+    n_requests: int = 0
+    n_rows: int = 0
+    seconds: float = 0.0
+
+
+class TransformService:
+    """Serve transforms for every model in a registry.
+
+    Parameters
+    ----------
+    registry:
+        A :class:`ModelRegistry` instance, or a path handed to one.
+    cache_size:
+        Per-model LRU capacity in rows; ``0`` disables result caching.
+    chunk_size:
+        Bulk requests are fed to the model at most this many rows at a
+        time to bound peak memory.
+    max_batch_size, max_wait:
+        Defaults handed to :meth:`microbatcher` instances.
+    """
+
+    def __init__(
+        self,
+        registry,
+        *,
+        cache_size: int = 100_000,
+        chunk_size: int = 8192,
+        max_batch_size: int = 256,
+        max_wait: float = 0.002,
+    ):
+        self.registry = (
+            registry if isinstance(registry, ModelRegistry) else ModelRegistry(registry)
+        )
+        self.cache_size = cache_size
+        self.chunk_size = chunk_size
+        self.max_batch_size = max_batch_size
+        self.max_wait = max_wait
+        self._models: dict[tuple[str, int], _ServedModel] = {}
+        # Pinned name@version specs are immutable, so their resolution is
+        # memoized; bare names / @latest re-resolve through the registry
+        # every call so promotions take effect immediately.
+        self._resolved: dict[str, tuple[str, int]] = {}
+        self._load_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------ serving
+    def transform(self, spec: str, X) -> np.ndarray:
+        """Transform a batch of rows through the model resolved from ``spec``.
+
+        ``spec`` is ``name``, ``name@latest`` or ``name@<version>``. ``X``
+        is an ``(n, m)`` matrix whose width must match the registered input
+        schema. Cached rows skip the model entirely.
+        """
+        served = self._served(spec)
+        X = self._checked_matrix(served.record, X)
+        start = time.perf_counter()
+        result = self._transform_cached(served, X)
+        self._account(served, X.shape[0], time.perf_counter() - start)
+        return result
+
+    def transform_one(self, spec: str, row) -> np.ndarray:
+        """Transform a single 1-D feature row; returns its representation.
+
+        Cache hits take a dedicated fast path (one digest, one lookup) —
+        this is the per-request unit of the heavy-tailed online workload
+        the cache exists for, so its overhead is kept minimal.
+        """
+        row = np.asarray(row, dtype=np.float64)
+        if row.ndim != 1:
+            raise ValidationError(
+                f"transform_one expects a 1-D row; got ndim={row.ndim}"
+            )
+        served = self._served(spec)
+        expected = served.record.n_features_in
+        if expected is not None and row.shape[0] != expected:
+            raise ValidationError(
+                f"schema mismatch for {served.record.spec}: row has "
+                f"{row.shape[0]} features but the registered "
+                f"{served.record.model_type} expects {expected}"
+            )
+        if not self.cache_size:
+            return self.transform(spec, row[None, :])[0]
+        start = time.perf_counter()
+        key = row_digest(row)
+        hit = served.cache.get(key)
+        if hit is not None:
+            self._account(served, 1, time.perf_counter() - start)
+            # Copy: the caller may mutate its result; the cached row must
+            # stay pristine.
+            return np.array(hit)
+        # Miss: compute here rather than falling back to transform(),
+        # which would re-resolve the spec, re-hash the row, and record a
+        # second miss for the same lookup.
+        result = served.batcher.transform(row[None, :])[0]
+        served.cache.put(key, np.array(result))
+        self._account(served, 1, time.perf_counter() - start)
+        return result
+
+    def microbatcher(self, spec: str, *, max_batch_size: int | None = None,
+                     max_wait: float | None = None) -> MicroBatcher:
+        """A :class:`MicroBatcher` coalescing concurrent single-row requests.
+
+        The returned batcher feeds whole coalesced batches through this
+        service (so caching and accounting still apply), passing ``spec``
+        through verbatim — a bare name or ``@latest`` keeps following
+        promotions exactly like direct :meth:`transform` calls, so the two
+        request paths of one service can never serve different versions.
+        Close it when done.
+        """
+        served = self._served(spec)  # resolve + load eagerly, fail fast
+        batcher = MicroBatcher(
+            lambda X: self.transform(spec, X),
+            max_batch_size=(
+                self.max_batch_size if max_batch_size is None else max_batch_size
+            ),
+            max_wait=self.max_wait if max_wait is None else max_wait,
+            n_features=served.record.n_features_in,
+        )
+        return batcher
+
+    # ------------------------------------------------------ observability
+    def stats(self) -> dict:
+        """Aggregate and per-model serving counters.
+
+        Returns ``{"models": {spec: {...}}, "totals": {...}}`` where every
+        entry carries requests, rows, cache hits/misses/hit_rate, seconds
+        and rows_per_second.
+        """
+        # Snapshot the model table under its own lock — _served()/evict()
+        # mutate the dict under _load_lock, so iterating it under only
+        # _stats_lock would race (RuntimeError: dict changed size).
+        with self._load_lock:
+            served_models = list(self._models.values())
+        with self._stats_lock:
+            snapshot = {
+                served.record.spec: {
+                    "model_type": served.record.model_type,
+                    "requests": served.n_requests,
+                    "rows": served.n_rows,
+                    "seconds": served.seconds,
+                    "rows_per_second": (
+                        served.n_rows / served.seconds if served.seconds else 0.0
+                    ),
+                    "cache": served.cache.info(),
+                }
+                for served in served_models
+            }
+        totals = {
+            "requests": sum(entry["requests"] for entry in snapshot.values()),
+            "rows": sum(entry["rows"] for entry in snapshot.values()),
+            "seconds": sum(entry["seconds"] for entry in snapshot.values()),
+            "cache_hits": sum(entry["cache"]["hits"] for entry in snapshot.values()),
+            "cache_misses": sum(
+                entry["cache"]["misses"] for entry in snapshot.values()
+            ),
+        }
+        return {"models": snapshot, "totals": totals}
+
+    def loaded_models(self) -> list[str]:
+        """Specs of the models currently warm in memory."""
+        with self._load_lock:
+            return sorted(
+                f"{name}@{version}" for name, version in self._models
+            )
+
+    def evict(self, spec: str | None = None) -> None:
+        """Drop warm models (all of them when ``spec`` is None)."""
+        with self._load_lock:
+            if spec is None:
+                self._models.clear()
+                return
+            name, version = self.registry.resolve(spec)
+            self._models.pop((name, version), None)
+
+    # ------------------------------------------------------------ internal
+    def _served(self, spec: str) -> _ServedModel:
+        key = self._resolved.get(spec)
+        if key is None:
+            key = self.registry.resolve(spec)
+            selector = str(spec).partition("@")[2]
+            if selector not in ("", "latest"):
+                self._resolved[spec] = key
+        name, version = key
+        served = self._models.get(key)
+        if served is not None:
+            return served
+        with self._load_lock:
+            served = self._models.get(key)
+            if served is None:
+                record = self.registry.record(name, version)
+                # Deserialize straight from the record's artifact path —
+                # registry.load() would redundantly re-resolve and re-read
+                # the manifest we just consulted.
+                model = load_model(record.path)
+                if not callable(getattr(model, "transform", None)):
+                    raise ValidationError(
+                        f"{record.spec} is a {record.model_type}, which has "
+                        "no transform method and cannot be served by "
+                        "TransformService"
+                    )
+                served = _ServedModel(
+                    record=record,
+                    model=model,
+                    batcher=BatchTransformer(model, chunk_size=self.chunk_size),
+                    cache=LRUCache(max_size=self.cache_size),
+                )
+                self._models[key] = served
+        return served
+
+    @staticmethod
+    def _checked_matrix(record: ModelRecord, X) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValidationError(
+                f"X must be a 2-D matrix; got ndim={X.ndim} "
+                "(use transform_one for single rows)"
+            )
+        expected = record.n_features_in
+        if expected is not None and X.shape[1] != expected:
+            raise ValidationError(
+                f"schema mismatch for {record.spec}: X has {X.shape[1]} "
+                f"features but the registered {record.model_type} expects "
+                f"{expected}"
+            )
+        return X
+
+    def _transform_cached(self, served: _ServedModel, X: np.ndarray) -> np.ndarray:
+        if self.cache_size == 0 or X.shape[0] == 0:
+            return served.batcher.transform(X)
+
+        digests = matrix_digests(X)
+        cached = served.cache.get_many(digests)
+
+        # Unique misses only: duplicated rows inside one request are
+        # computed once, exactly like repeats across requests.
+        miss_rows: list[int] = []
+        miss_slot: dict[bytes, int] = {}
+        for index, (digest, hit) in enumerate(zip(digests, cached)):
+            if hit is None and digest not in miss_slot:
+                miss_slot[digest] = len(miss_rows)
+                miss_rows.append(index)
+
+        if not miss_rows:
+            return np.stack(cached)
+
+        computed = served.batcher.transform(X[miss_rows])
+        # Store copies: cached rows must not alias `computed`, which is
+        # (a) returned to the caller below — a caller mutating its result
+        # would corrupt the cache — and (b) one big array that every row
+        # view would otherwise pin in memory long past eviction.
+        served.cache.put_many(
+            (digests[index], np.array(computed[slot]))
+            for slot, index in enumerate(miss_rows)
+        )
+        if len(miss_rows) == X.shape[0]:
+            # Everything missed and no within-request duplicates: `computed`
+            # is already in request order — skip the assembly copy.
+            return computed
+        width = computed.shape[1]
+        out = np.empty((X.shape[0], width), dtype=computed.dtype)
+        for index, (digest, hit) in enumerate(zip(digests, cached)):
+            out[index] = hit if hit is not None else computed[miss_slot[digest]]
+        return out
+
+    def _account(self, served: _ServedModel, rows: int, seconds: float) -> None:
+        with self._stats_lock:
+            served.n_requests += 1
+            served.n_rows += rows
+            served.seconds += seconds

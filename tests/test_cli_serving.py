@@ -1,0 +1,239 @@
+"""Tests for the ``repro models`` and ``repro transform`` CLI subcommands."""
+
+import numpy as np
+import pytest
+
+from repro import PFR, save_model
+from repro.cli import build_parser, default_registry_root, main
+from repro.graphs import pairwise_judgment_graph
+
+
+@pytest.fixture
+def artifact(rng, tmp_path):
+    """A saved fitted PFR artifact plus matching query rows on disk."""
+    X = rng.normal(size=(40, 5))
+    WF = pairwise_judgment_graph([(0, 1), (3, 8)], n=40)
+    model = PFR(n_components=2, gamma=0.5, n_neighbors=4).fit(X, WF)
+    path = save_model(model, tmp_path / "pfr")
+    rows = tmp_path / "rows.csv"
+    np.savetxt(rows, rng.normal(size=(6, 5)), delimiter=",")
+    return {"model": model, "artifact": path, "rows": rows, "X": X}
+
+
+@pytest.fixture
+def registry_dir(tmp_path):
+    return str(tmp_path / "registry")
+
+
+def _register(artifact, registry_dir, name="demo"):
+    assert main([
+        "models", "register", name, str(artifact["artifact"]),
+        "--registry", registry_dir,
+    ]) == 0
+
+
+class TestParser:
+    def test_models_register_args(self):
+        args = build_parser().parse_args(
+            ["models", "register", "demo", "m.npz", "--registry", "r",
+             "--no-promote"]
+        )
+        assert args.models_command == "register"
+        assert args.name == "demo"
+        assert args.artifact == "m.npz"
+        assert args.no_promote
+
+    def test_transform_args(self):
+        args = build_parser().parse_args(
+            ["transform", "demo@2", "--input", "in.csv", "--output", "out.csv"]
+        )
+        assert args.spec == "demo@2"
+        assert args.input == "in.csv"
+        assert args.output == "out.csv"
+
+    def test_transform_requires_input(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["transform", "demo"])
+
+    def test_models_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["models"])
+
+
+class TestDefaultRegistryRoot:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REGISTRY", "/somewhere/reg")
+        assert str(default_registry_root()) == "/somewhere/reg"
+
+    def test_fallback_under_home(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REGISTRY", raising=False)
+        assert default_registry_root().name == "registry"
+        assert ".repro" in str(default_registry_root())
+
+
+class TestModelsCommands:
+    def test_register_and_list(self, artifact, registry_dir, capsys):
+        _register(artifact, registry_dir)
+        out = capsys.readouterr().out
+        assert "registered demo@1" in out
+        assert "PFR" in out
+
+        assert main(["models", "list", "--registry", registry_dir]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out
+        assert "PFR" in out
+
+    def test_list_empty(self, registry_dir, capsys):
+        assert main(["models", "list", "--registry", registry_dir]) == 0
+        assert "no models registered" in capsys.readouterr().out
+
+    def test_show(self, artifact, registry_dir, capsys):
+        _register(artifact, registry_dir)
+        _register(artifact, registry_dir)
+        capsys.readouterr()
+        assert main(["models", "show", "demo", "--registry", registry_dir]) == 0
+        out = capsys.readouterr().out
+        assert "version:         2 (latest)" in out
+        assert "model_type:      PFR" in out
+        assert "n_features_in:   5" in out
+        assert "all_versions:    [1, 2]" in out
+        assert '"gamma": 0.5' in out
+
+    def test_show_pinned_version(self, artifact, registry_dir, capsys):
+        _register(artifact, registry_dir)
+        _register(artifact, registry_dir)
+        capsys.readouterr()
+        assert main(
+            ["models", "show", "demo@1", "--registry", registry_dir]
+        ) == 0
+        assert "version:         1\n" in capsys.readouterr().out
+
+    def test_show_unpromoted_canary(self, artifact, registry_dir, capsys):
+        # A fresh --no-promote registration must be inspectable by bare
+        # name (the whole point of the canary flow).
+        assert main([
+            "models", "register", "canary", str(artifact["artifact"]),
+            "--registry", registry_dir, "--no-promote",
+        ]) == 0
+        capsys.readouterr()
+        assert main(
+            ["models", "show", "canary", "--registry", registry_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "version:         1\n" in out
+        assert "(latest)" not in out
+
+    def test_no_promote(self, artifact, registry_dir, capsys):
+        _register(artifact, registry_dir)
+        assert main([
+            "models", "register", "demo", str(artifact["artifact"]),
+            "--registry", registry_dir, "--no-promote",
+        ]) == 0
+        assert "[not promoted]" in capsys.readouterr().out
+        main(["models", "show", "demo", "--registry", registry_dir])
+        assert "version:         1 (latest)" in capsys.readouterr().out
+
+    def test_promote(self, artifact, registry_dir, capsys):
+        _register(artifact, registry_dir)
+        _register(artifact, registry_dir)
+        capsys.readouterr()
+        assert main(
+            ["models", "promote", "demo", "1", "--registry", registry_dir]
+        ) == 0
+        assert "promoted demo@1" in capsys.readouterr().out
+
+    def test_register_missing_artifact(self, registry_dir, capsys):
+        assert main([
+            "models", "register", "demo", "/nope/missing.npz",
+            "--registry", registry_dir,
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_register_bad_name(self, artifact, registry_dir, capsys):
+        assert main([
+            "models", "register", "bad@name", str(artifact["artifact"]),
+            "--registry", registry_dir,
+        ]) == 2
+        assert "bad model name" in capsys.readouterr().err
+
+    def test_show_unknown_model(self, registry_dir, capsys):
+        assert main(
+            ["models", "show", "ghost", "--registry", registry_dir]
+        ) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_promote_unknown_version(self, artifact, registry_dir, capsys):
+        _register(artifact, registry_dir)
+        capsys.readouterr()
+        assert main(
+            ["models", "promote", "demo", "9", "--registry", registry_dir]
+        ) == 2
+        assert "no version 9" in capsys.readouterr().err
+
+
+class TestTransformCommand:
+    def test_transform_to_stdout(self, artifact, registry_dir, capsys):
+        _register(artifact, registry_dir)
+        capsys.readouterr()
+        assert main([
+            "transform", "demo", "--input", str(artifact["rows"]),
+            "--registry", registry_dir,
+        ]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.strip().splitlines() if line]
+        assert len(lines) == 6
+        got = np.array([[float(v) for v in line.split(",")] for line in lines])
+        X = np.loadtxt(artifact["rows"], delimiter=",")
+        np.testing.assert_allclose(
+            got, artifact["model"].transform(X), atol=1e-9
+        )
+
+    def test_transform_to_file(self, artifact, registry_dir, tmp_path, capsys):
+        _register(artifact, registry_dir)
+        capsys.readouterr()
+        out_path = tmp_path / "z.csv"
+        assert main([
+            "transform", "demo@1", "--input", str(artifact["rows"]),
+            "--output", str(out_path), "--registry", registry_dir,
+        ]) == 0
+        assert "wrote 6 x 2 representation" in capsys.readouterr().out
+        Z = np.loadtxt(out_path, delimiter=",")
+        assert Z.shape == (6, 2)
+
+    def test_unknown_model(self, artifact, registry_dir, capsys):
+        assert main([
+            "transform", "ghost", "--input", str(artifact["rows"]),
+            "--registry", registry_dir,
+        ]) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_schema_mismatch(self, artifact, registry_dir, tmp_path, rng, capsys):
+        _register(artifact, registry_dir)
+        capsys.readouterr()
+        bad = tmp_path / "bad.csv"
+        np.savetxt(bad, rng.normal(size=(3, 4)), delimiter=",")
+        assert main([
+            "transform", "demo", "--input", str(bad),
+            "--registry", registry_dir,
+        ]) == 2
+        assert "schema mismatch" in capsys.readouterr().err
+
+    def test_missing_input_file(self, artifact, registry_dir, capsys):
+        _register(artifact, registry_dir)
+        capsys.readouterr()
+        assert main([
+            "transform", "demo", "--input", "/nope/rows.csv",
+            "--registry", registry_dir,
+        ]) == 2
+        assert "input file not found" in capsys.readouterr().err
+
+    def test_unparseable_csv(self, artifact, registry_dir, tmp_path, capsys):
+        _register(artifact, registry_dir)
+        capsys.readouterr()
+        bad = tmp_path / "garbage.csv"
+        bad.write_text("a,b,c\n1,2,notanumber\n")
+        assert main([
+            "transform", "demo", "--input", str(bad),
+            "--registry", registry_dir,
+        ]) == 2
+        assert "error:" in capsys.readouterr().err

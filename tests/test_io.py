@@ -1,12 +1,25 @@
 """Tests for repro.io — pickle-free model persistence."""
 
+import json
+
 import numpy as np
 import pytest
 
-from repro import PFR, load_model, save_model
+from repro import (
+    IFair,
+    LFR,
+    PFR,
+    EqualizedOddsPostProcessor,
+    MaskedRepresentation,
+    SideInformationAugmenter,
+    __version__,
+    load_model,
+    save_model,
+)
 from repro.core import KernelPFR
 from repro.exceptions import ValidationError
 from repro.graphs import pairwise_judgment_graph
+from repro.io import read_header, supported_model_types
 from repro.ml import LogisticRegression, StandardScaler
 
 
@@ -83,16 +96,182 @@ class TestRoundtrip:
         np.testing.assert_allclose(restored.transform(X), model.transform(X))
 
 
+# Builders for every fitted estimator class exposed in repro.__all__; each
+# returns (fitted_model, probe) where probe(model) -> ndarray exercises the
+# fitted state so round-trip equality is behavioural, not just structural.
+def _build_pfr(rng, X, y, s, WF):
+    return PFR(n_components=2, gamma=0.7, n_neighbors=4).fit(X, WF), None
+
+
+def _build_kernel_pfr(rng, X, y, s, WF):
+    return KernelPFR(n_components=2, kernel="rbf", n_neighbors=4).fit(X, WF), None
+
+
+def _build_ifair(rng, X, y, s, WF):
+    model = IFair(n_prototypes=3, max_iter=15, protected_columns=[3]).fit(X)
+    return model, None
+
+
+def _build_lfr(rng, X, y, s, WF):
+    return LFR(n_prototypes=3, max_iter=15).fit(X, y, s=s), None
+
+
+def _build_masked(rng, X, y, s, WF):
+    return MaskedRepresentation(protected_columns=[0, 3]).fit(X), None
+
+
+def _build_augmenter(rng, X, y, s, WF):
+    side = rng.random(len(X))
+    side[::5] = np.nan
+    return SideInformationAugmenter(side_information=side).fit(X), None
+
+
+def _build_equalized_odds(rng, X, y, s, WF):
+    y_pred = (X[:, 0] > 0).astype(int)
+    model = EqualizedOddsPostProcessor(seed=3).fit(y, y_pred, s)
+    return model, lambda m: m.predict_proba_positive(y_pred, s)
+
+
+_ALL_ESTIMATOR_BUILDERS = {
+    "PFR": _build_pfr,
+    "KernelPFR": _build_kernel_pfr,
+    "IFair": _build_ifair,
+    "LFR": _build_lfr,
+    "MaskedRepresentation": _build_masked,
+    "SideInformationAugmenter": _build_augmenter,
+    "EqualizedOddsPostProcessor": _build_equalized_odds,
+}
+
+
+class TestAllPublicEstimatorsRoundTrip:
+    """Every fitted estimator class in repro.__all__ must survive save/load."""
+
+    @pytest.fixture
+    def problem(self, rng):
+        X = rng.normal(size=(50, 4))
+        y = (X[:, 0] + 0.3 * rng.normal(size=50) > 0).astype(int)
+        s = rng.integers(0, 2, 50)
+        # Both groups need both classes for the Hardt post-processor.
+        y[:4], s[:4] = [0, 1, 0, 1], [0, 0, 1, 1]
+        WF = pairwise_judgment_graph([(0, 1), (5, 9), (10, 30)], n=50)
+        return X, y, s, WF
+
+    @pytest.mark.parametrize("name", sorted(_ALL_ESTIMATOR_BUILDERS))
+    def test_round_trip(self, name, problem, rng, tmp_path):
+        X, y, s, WF = problem
+        model, probe = _ALL_ESTIMATOR_BUILDERS[name](rng, X, y, s, WF)
+        restored = load_model(save_model(model, tmp_path / name))
+        assert type(restored) is type(model)
+        for key, value in model.get_params().items():
+            restored_value = restored.get_params()[key]
+            if isinstance(value, np.ndarray):
+                np.testing.assert_allclose(restored_value, value)
+            elif isinstance(value, (list, tuple)):
+                assert list(restored_value) == list(value)
+            else:
+                assert restored_value == value
+        if probe is None:
+            np.testing.assert_allclose(
+                restored.transform(X), model.transform(X), atol=1e-12
+            )
+        else:
+            np.testing.assert_allclose(probe(restored), probe(model))
+
+    def test_every_public_estimator_is_covered(self):
+        import repro
+        from repro.ml.base import BaseEstimator
+
+        public_estimators = {
+            name
+            for name in repro.__all__
+            if isinstance(getattr(repro, name), type)
+            and issubclass(getattr(repro, name), BaseEstimator)
+        }
+        assert public_estimators == set(_ALL_ESTIMATOR_BUILDERS)
+        assert public_estimators <= set(supported_model_types())
+
+
+def _rewrite_header(path, mutate):
+    """Load an artifact, mutate its JSON header, and write it back."""
+    with np.load(path, allow_pickle=False) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    header = json.loads(bytes(arrays.pop("header")).decode("utf-8"))
+    mutate(header)
+    np.savez(path, header=np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    ), **arrays)
+
+
+class TestVersionStamp:
+    @pytest.fixture
+    def saved(self, fitted_models, tmp_path):
+        return save_model(fitted_models["scaler"], tmp_path / "m")
+
+    def test_header_carries_library_version(self, saved):
+        header = read_header(saved)
+        assert header["library_version"] == __version__
+        assert header["model_type"] == "StandardScaler"
+        assert header["format_version"] == 2
+
+    def test_same_major_loads(self, saved):
+        major = __version__.split(".", 1)[0]
+        _rewrite_header(
+            saved, lambda h: h.update(library_version=f"{major}.99.7")
+        )
+        assert load_model(saved) is not None
+
+    def test_incompatible_major_rejected(self, saved):
+        _rewrite_header(saved, lambda h: h.update(library_version="999.0.0"))
+        with pytest.raises(ValidationError, match="incompatible"):
+            load_model(saved)
+
+    def test_missing_stamp_in_v2_rejected(self, saved):
+        _rewrite_header(saved, lambda h: h.pop("library_version"))
+        with pytest.raises(ValidationError, match="lacks a library_version"):
+            load_model(saved)
+
+    def test_legacy_format1_still_loads(self, saved, fitted_models):
+        def to_v1(header):
+            header["format_version"] = 1
+            header.pop("library_version")
+
+        _rewrite_header(saved, to_v1)
+        restored = load_model(saved)
+        X = fitted_models["X"]
+        np.testing.assert_allclose(
+            restored.transform(X), fitted_models["scaler"].transform(X)
+        )
+
+    def test_read_header_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="not found"):
+            read_header(tmp_path / "none.npz")
+
+    def test_array_params_stay_out_of_the_header(self, rng, tmp_path):
+        # Training-set-sized hyper-parameters are stored as npz arrays so
+        # read_header stays O(1) in the training-set size.
+        X = rng.normal(size=(100, 3))
+        model = SideInformationAugmenter(
+            side_information=rng.random(100)
+        ).fit(X)
+        path = save_model(model, tmp_path / "augmenter")
+        header = read_header(path)
+        assert "side_information" not in header["params"]
+        restored = load_model(path)
+        np.testing.assert_allclose(
+            restored.side_information, model.side_information
+        )
+
+
 class TestErrors:
     def test_unfitted_model_rejected(self, tmp_path):
         with pytest.raises(Exception):
             save_model(PFR(), tmp_path / "x")
 
     def test_unsupported_type_rejected(self, tmp_path):
-        from repro.baselines import IFair
+        from repro.ml import MinMaxScaler
 
         with pytest.raises(ValidationError, match="cannot save"):
-            save_model(IFair(), tmp_path / "x")
+            save_model(MinMaxScaler(), tmp_path / "x")
 
     def test_missing_file(self, tmp_path):
         with pytest.raises(ValidationError, match="not found"):
@@ -103,3 +282,33 @@ class TestErrors:
         np.savez(path, something=np.arange(3))
         with pytest.raises(ValidationError, match="not a repro model"):
             load_model(path)
+
+    def test_non_npz_bytes_rejected(self, tmp_path):
+        path = tmp_path / "fake.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(ValidationError, match="not a repro model"):
+            load_model(path)
+        with pytest.raises(ValidationError, match="not a repro model"):
+            read_header(path)
+
+    def test_bare_npy_payload_rejected(self, tmp_path):
+        path = tmp_path / "array.npz"
+        with open(path, "wb") as handle:
+            np.save(handle, np.arange(3))
+        with pytest.raises(ValidationError, match="not an npz archive"):
+            load_model(path)
+        with pytest.raises(ValidationError, match="not an npz archive"):
+            read_header(path)
+
+    def test_non_object_header_rejected(self, tmp_path):
+        path = tmp_path / "listheader.npz"
+        np.savez(path, header=np.frombuffer(b"[1, 2]", dtype=np.uint8))
+        with pytest.raises(ValidationError, match="not a JSON object"):
+            load_model(path)
+
+    def test_truncated_zip_rejected(self, tmp_path, fitted_models):
+        good = save_model(fitted_models["scaler"], tmp_path / "ok")
+        bad = tmp_path / "truncated.npz"
+        bad.write_bytes(good.read_bytes()[:40])  # keeps the PK magic
+        with pytest.raises(ValidationError, match="not a repro model"):
+            load_model(bad)

@@ -84,3 +84,13 @@ class TestMixins:
         model = LogisticRegression().fit(X, y)
         expected = float(np.mean(model.predict(X) == y))
         assert model.score(X, y) == pytest.approx(expected)
+
+    def test_input_dim_after_fit(self, small_X):
+        scaler = StandardScaler().fit(small_X)
+        assert scaler.input_dim == small_X.shape[1]
+
+    def test_input_dim_before_fit_raises(self):
+        from repro.exceptions import NotFittedError
+
+        with pytest.raises(NotFittedError, match="input_dim"):
+            StandardScaler().input_dim

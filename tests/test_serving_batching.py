@@ -1,0 +1,142 @@
+"""Tests for repro.serving.batching — chunked bulk and micro-batched paths."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.serving import BatchTransformer, MicroBatcher
+
+
+class RecordingModel:
+    """Linear transform that records every batch size it sees."""
+
+    def __init__(self, V):
+        self.V = V
+        self.batch_sizes = []
+
+    def transform(self, X):
+        X = np.asarray(X)
+        self.batch_sizes.append(X.shape[0])
+        return X @ self.V
+
+
+@pytest.fixture
+def model(rng):
+    return RecordingModel(rng.normal(size=(6, 3)))
+
+
+class TestBatchTransformer:
+    def test_small_input_single_call(self, model, rng):
+        X = rng.normal(size=(10, 6))
+        Z = BatchTransformer(model, chunk_size=64).transform(X)
+        np.testing.assert_allclose(Z, X @ model.V)
+        assert model.batch_sizes == [10]
+
+    def test_large_input_chunked(self, model, rng):
+        X = rng.normal(size=(25, 6))
+        Z = BatchTransformer(model, chunk_size=10).transform(X)
+        np.testing.assert_allclose(Z, X @ model.V)
+        assert model.batch_sizes == [10, 10, 5]
+
+    def test_exact_multiple(self, model, rng):
+        X = rng.normal(size=(20, 6))
+        BatchTransformer(model, chunk_size=10).transform(X)
+        assert model.batch_sizes == [10, 10]
+
+    def test_bad_chunk_size(self, model):
+        with pytest.raises(ValidationError, match="chunk_size"):
+            BatchTransformer(model, chunk_size=0)
+
+    def test_rejects_1d(self, model, rng):
+        with pytest.raises(ValidationError, match="2-dimensional"):
+            BatchTransformer(model).transform(rng.normal(size=6))
+
+
+class TestMicroBatcher:
+    def test_single_submit(self, model, rng):
+        row = rng.normal(size=6)
+        with MicroBatcher(model.transform, max_wait=0.001) as batcher:
+            result = batcher.submit(row)
+        np.testing.assert_allclose(result, row @ model.V)
+
+    def test_concurrent_submits_coalesce(self, model, rng):
+        X = rng.normal(size=(24, 6))
+        barrier = threading.Barrier(24)
+        results = [None] * 24
+
+        def client(i):
+            barrier.wait()
+            results[i] = batcher.submit(X[i])
+
+        with MicroBatcher(model.transform, max_batch_size=32,
+                          max_wait=0.05) as batcher:
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(24)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = batcher.stats
+
+        np.testing.assert_allclose(np.stack(results), X @ model.V)
+        assert stats["n_rows"] == 24
+        # Concurrent arrivals must have shared vectorized calls.
+        assert stats["n_batches"] < 24
+        assert stats["mean_batch_size"] > 1.0
+
+    def test_max_batch_size_respected(self, model, rng):
+        X = rng.normal(size=(10, 6))
+        with MicroBatcher(model.transform, max_batch_size=4,
+                          max_wait=0.05) as batcher:
+            threads = [
+                threading.Thread(target=lambda i=i: batcher.submit(X[i]))
+                for i in range(10)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert max(model.batch_sizes) <= 4
+
+    def test_error_propagates_to_caller(self):
+        def broken(X):
+            raise RuntimeError("backend down")
+
+        with MicroBatcher(broken, max_wait=0.001) as batcher:
+            with pytest.raises(RuntimeError, match="backend down"):
+                batcher.submit(np.zeros(3))
+
+    def test_submit_rejects_matrix(self, model, rng):
+        with MicroBatcher(model.transform) as batcher:
+            with pytest.raises(ValidationError, match="1-D"):
+                batcher.submit(rng.normal(size=(2, 6)))
+
+    def test_closed_batcher_rejects_submits(self, model, rng):
+        batcher = MicroBatcher(model.transform)
+        batcher.close()
+        batcher.close()  # idempotent
+        with pytest.raises(ValidationError, match="closed"):
+            batcher.submit(rng.normal(size=6))
+
+    def test_bad_parameters(self, model):
+        with pytest.raises(ValidationError, match="max_batch_size"):
+            MicroBatcher(model.transform, max_batch_size=0)
+        with pytest.raises(ValidationError, match="max_wait"):
+            MicroBatcher(model.transform, max_wait=-1.0)
+
+    def test_wrong_width_rejected_at_submit(self, model, rng):
+        # One bad row must fail alone, not poison a coalesced batch.
+        with MicroBatcher(model.transform, n_features=6,
+                          max_wait=0.02) as batcher:
+            with pytest.raises(ValidationError, match="schema mismatch"):
+                batcher.submit(rng.normal(size=5))
+            good = rng.normal(size=6)
+            np.testing.assert_allclose(batcher.submit(good), good @ model.V)
+
+    def test_row_count_mismatch_is_an_error(self):
+        with MicroBatcher(lambda X: X[:0], max_wait=0.001) as batcher:
+            with pytest.raises(ValidationError, match="rows for a batch"):
+                batcher.submit(np.zeros(3))

@@ -1,0 +1,125 @@
+"""Tests for repro.serving.cache — digests and the LRU result cache."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.serving import LRUCache, matrix_digests, row_digest
+
+
+class TestRowDigest:
+    def test_deterministic(self, rng):
+        row = rng.normal(size=7)
+        assert row_digest(row) == row_digest(row.copy())
+
+    def test_dtype_and_layout_canonicalized(self, rng):
+        row = rng.normal(size=6)
+        assert row_digest(row) == row_digest(list(row))
+        assert row_digest(row) == row_digest(row.astype(np.float64))
+        strided = np.vstack([row, row])[::2][0]
+        assert row_digest(row) == row_digest(strided)
+
+    def test_different_rows_differ(self, rng):
+        a = rng.normal(size=5)
+        b = a.copy()
+        b[2] += 1e-9
+        assert row_digest(a) != row_digest(b)
+
+    def test_matrix_digests_match_row_digests(self, rng):
+        X = rng.normal(size=(9, 4))
+        assert matrix_digests(X) == [row_digest(row) for row in X]
+
+    def test_matrix_digests_rejects_1d(self, rng):
+        with pytest.raises(ValidationError, match="2-D"):
+            matrix_digests(rng.normal(size=5))
+
+
+class TestLRUCache:
+    def test_put_get_and_counters(self):
+        cache = LRUCache(max_size=4)
+        assert cache.get(b"a") is None
+        cache.put(b"a", 1)
+        assert cache.get(b"a") == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_eviction_is_lru(self):
+        cache = LRUCache(max_size=2)
+        cache.put(b"a", 1)
+        cache.put(b"b", 2)
+        cache.get(b"a")          # refresh a -> b is now oldest
+        cache.put(b"c", 3)
+        assert b"a" in cache
+        assert b"b" not in cache
+        assert b"c" in cache
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(max_size=0)
+        cache.put(b"a", 1)
+        assert cache.get(b"a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValidationError, match="max_size"):
+            LRUCache(max_size=-1)
+
+    def test_get_many_put_many(self):
+        cache = LRUCache(max_size=10)
+        cache.put_many([(b"a", 1), (b"b", 2)])
+        assert cache.get_many([b"a", b"x", b"b"]) == [1, None, 2]
+        assert cache.hits == 2
+        assert cache.misses == 1
+
+    def test_put_many_evicts_beyond_capacity(self):
+        cache = LRUCache(max_size=3)
+        cache.put_many([(bytes([i]), i) for i in range(6)])
+        assert len(cache) == 3
+        assert cache.get(bytes([5])) == 5
+        assert cache.get(bytes([0])) is None
+
+    def test_clear_resets_everything(self):
+        cache = LRUCache(max_size=4)
+        cache.put(b"a", 1)
+        cache.get(b"a")
+        cache.get(b"zz")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0
+        assert cache.misses == 0
+        assert cache.info()["hit_rate"] == 0.0
+
+    def test_info_snapshot(self):
+        cache = LRUCache(max_size=8)
+        cache.put(b"k", 42)
+        cache.get(b"k")
+        info = cache.info()
+        assert info == {
+            "size": 1, "max_size": 8, "hits": 1, "misses": 0, "hit_rate": 1.0,
+        }
+
+    def test_thread_safety_smoke(self):
+        cache = LRUCache(max_size=64)
+        errors = []
+
+        def hammer(worker):
+            try:
+                for i in range(500):
+                    key = bytes([worker, i % 32])
+                    cache.put(key, i)
+                    cache.get(key)
+                    cache.get_many([key, bytes([255, worker])])
+            except Exception as exc:  # pragma: no cover - only on failure
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 64

@@ -1,0 +1,238 @@
+"""Tests for repro.serving.service — the TransformService façade."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import PFR
+from repro.exceptions import ValidationError
+from repro.graphs import pairwise_judgment_graph
+from repro.serving import ModelRegistry, TransformService
+
+
+@pytest.fixture
+def setup(rng, tmp_path):
+    X = rng.normal(size=(60, 5))
+    WF = pairwise_judgment_graph([(0, 1), (4, 9)], n=60)
+    model = PFR(n_components=2, gamma=0.5, n_neighbors=4).fit(X, WF)
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.register("pfr", model)
+    return registry, model, X
+
+
+class TestTransform:
+    def test_matches_direct_transform(self, setup, rng):
+        registry, model, _ = setup
+        service = TransformService(registry)
+        Xq = rng.normal(size=(12, 5))
+        np.testing.assert_allclose(
+            service.transform("pfr", Xq), model.transform(Xq)
+        )
+
+    def test_spec_forms(self, setup, rng):
+        registry, model, _ = setup
+        service = TransformService(registry)
+        Xq = rng.normal(size=(3, 5))
+        expected = model.transform(Xq)
+        for spec in ("pfr", "pfr@latest", "pfr@1"):
+            np.testing.assert_allclose(service.transform(spec, Xq), expected)
+
+    def test_transform_one(self, setup, rng):
+        registry, model, _ = setup
+        service = TransformService(registry)
+        row = rng.normal(size=5)
+        np.testing.assert_allclose(
+            service.transform_one("pfr", row), model.transform(row[None])[0]
+        )
+        with pytest.raises(ValidationError, match="1-D"):
+            service.transform_one("pfr", rng.normal(size=(2, 5)))
+
+    def test_unknown_model(self, setup, rng):
+        registry, *_ = setup
+        service = TransformService(registry)
+        with pytest.raises(ValidationError, match="unknown model"):
+            service.transform("ghost", rng.normal(size=(2, 5)))
+
+    def test_schema_mismatch(self, setup, rng):
+        registry, *_ = setup
+        service = TransformService(registry)
+        with pytest.raises(ValidationError, match="schema mismatch"):
+            service.transform("pfr", rng.normal(size=(4, 3)))
+
+    def test_rejects_1d_matrix(self, setup, rng):
+        registry, *_ = setup
+        service = TransformService(registry)
+        with pytest.raises(ValidationError, match="2-D"):
+            service.transform("pfr", rng.normal(size=5))
+
+    def test_chunked_bulk_matches(self, setup, rng):
+        registry, model, _ = setup
+        service = TransformService(registry, chunk_size=7, cache_size=0)
+        Xq = rng.normal(size=(40, 5))
+        np.testing.assert_allclose(
+            service.transform("pfr", Xq), model.transform(Xq)
+        )
+
+
+class TestCaching:
+    def test_transform_one_counts_one_miss_one_hit(self, setup, rng):
+        registry, *_ = setup
+        service = TransformService(registry)
+        row = rng.normal(size=5)
+        service.transform_one("pfr", row)
+        service.transform_one("pfr", row)
+        cache = service.stats()["models"]["pfr@1"]["cache"]
+        assert cache["hits"] == 1
+        assert cache["misses"] == 1
+        assert cache["hit_rate"] == 0.5
+
+    def test_repeat_hits_cache(self, setup, rng):
+        registry, *_ = setup
+        service = TransformService(registry)
+        Xq = rng.normal(size=(10, 5))
+        Z1 = service.transform("pfr", Xq)
+        Z2 = service.transform("pfr", Xq)
+        np.testing.assert_allclose(Z1, Z2)
+        totals = service.stats()["totals"]
+        assert totals["cache_hits"] == 10
+        assert totals["cache_misses"] == 10
+
+    def test_duplicates_within_request_computed_once(self, setup, rng):
+        registry, model, _ = setup
+        service = TransformService(registry)
+        row = rng.normal(size=5)
+        Xq = np.tile(row, (6, 1))
+        Z = service.transform("pfr", Xq)
+        np.testing.assert_allclose(Z, model.transform(Xq))
+        cache_info = service.stats()["models"]["pfr@1"]["cache"]
+        assert cache_info["size"] == 1
+
+    def test_partial_hits_assembled_correctly(self, setup, rng):
+        registry, model, _ = setup
+        service = TransformService(registry)
+        Xa = rng.normal(size=(5, 5))
+        Xb = rng.normal(size=(5, 5))
+        service.transform("pfr", Xa)
+        mixed = np.vstack([Xb[:2], Xa[1:3], Xb[2:]])
+        np.testing.assert_allclose(
+            service.transform("pfr", mixed), model.transform(mixed)
+        )
+
+    def test_caller_mutation_cannot_corrupt_cache(self, setup, rng):
+        registry, model, _ = setup
+        service = TransformService(registry)
+        Xq = rng.normal(size=(5, 5))
+        expected = model.transform(Xq)
+        Z = service.transform("pfr", Xq)
+        Z[:] = -999.0  # hostile caller scribbles over its result
+        np.testing.assert_allclose(service.transform("pfr", Xq), expected)
+
+    def test_cache_disabled(self, setup, rng):
+        registry, *_ = setup
+        service = TransformService(registry, cache_size=0)
+        Xq = rng.normal(size=(4, 5))
+        service.transform("pfr", Xq)
+        service.transform("pfr", Xq)
+        totals = service.stats()["totals"]
+        assert totals["cache_hits"] == 0
+
+
+class TestLifecycle:
+    def test_loaded_models_and_evict(self, setup, rng):
+        registry, *_ = setup
+        service = TransformService(registry)
+        assert service.loaded_models() == []
+        service.transform("pfr", rng.normal(size=(2, 5)))
+        assert service.loaded_models() == ["pfr@1"]
+        service.evict("pfr@1")
+        assert service.loaded_models() == []
+        service.transform("pfr", rng.normal(size=(2, 5)))
+        service.evict()
+        assert service.loaded_models() == []
+
+    def test_latest_follows_promotion(self, setup, rng):
+        registry, model, X = setup
+        WF = pairwise_judgment_graph([(2, 3)], n=60)
+        other = PFR(n_components=3, gamma=0.2, n_neighbors=4).fit(X, WF)
+        registry.register("pfr", other)
+        service = TransformService(registry)
+        Xq = rng.normal(size=(4, 5))
+        assert service.transform("pfr", Xq).shape == (4, 3)
+        registry.promote("pfr", 1)
+        assert service.transform("pfr", Xq).shape == (4, 2)
+
+    def test_stats_shape(self, setup, rng):
+        registry, *_ = setup
+        service = TransformService(registry)
+        service.transform("pfr", rng.normal(size=(8, 5)))
+        stats = service.stats()
+        entry = stats["models"]["pfr@1"]
+        assert entry["requests"] == 1
+        assert entry["rows"] == 8
+        assert entry["model_type"] == "PFR"
+        assert entry["seconds"] > 0
+        assert entry["rows_per_second"] > 0
+        assert stats["totals"]["rows"] == 8
+
+    def test_concurrent_transforms(self, setup, rng):
+        registry, model, _ = setup
+        service = TransformService(registry)
+        Xq = rng.normal(size=(64, 5))
+        expected = model.transform(Xq)
+        errors = []
+
+        def client():
+            try:
+                np.testing.assert_allclose(
+                    service.transform("pfr@1", Xq), expected
+                )
+            except Exception as exc:  # pragma: no cover - only on failure
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert service.stats()["totals"]["rows"] == 8 * 64
+
+
+class TestNonTransformer:
+    def test_registered_post_processor_rejected_cleanly(self, rng, tmp_path):
+        from repro import EqualizedOddsPostProcessor
+
+        y = rng.integers(0, 2, 80)
+        s = rng.integers(0, 2, 80)
+        y[:4], s[:4] = [0, 1, 0, 1], [0, 0, 1, 1]
+        y_pred = rng.integers(0, 2, 80)
+        post = EqualizedOddsPostProcessor().fit(y, y_pred, s)
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.register("eo", post)
+        service = TransformService(registry)
+        with pytest.raises(ValidationError, match="cannot be served"):
+            service.transform("eo", rng.normal(size=(3, 2)))
+
+
+class TestMicrobatcher:
+    def test_microbatched_results_match(self, setup, rng):
+        registry, model, _ = setup
+        service = TransformService(registry)
+        Xq = rng.normal(size=(16, 5))
+        expected = model.transform(Xq)
+        results = [None] * 16
+        with service.microbatcher("pfr", max_wait=0.02) as batcher:
+            threads = [
+                threading.Thread(
+                    target=lambda i=i: results.__setitem__(
+                        i, batcher.submit(Xq[i])
+                    )
+                )
+                for i in range(16)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        np.testing.assert_allclose(np.stack(results), expected)
