@@ -30,7 +30,7 @@ from .baselines import (
     MaskedRepresentation,
     SideInformationAugmenter,
 )
-from .core import PFR, KernelPFR
+from .core import PFR, KernelPFR, SpectralFitPlan, fit_path
 from .datasets import (
     Dataset,
     load_compas,
@@ -78,6 +78,8 @@ def __getattr__(name):
 __all__ = [
     "PFR",
     "KernelPFR",
+    "SpectralFitPlan",
+    "fit_path",
     "EqualizedOddsPostProcessor",
     "IFair",
     "LFR",

@@ -195,6 +195,12 @@ def _cmd_models(args) -> int:
         print(f"artifact:        {record.path}")
         print(f"all_versions:    {versions}")
         print(f"params:          {json.dumps(record.params, sort_keys=True)}")
+        if record.stage_digests:
+            # Fit-plan provenance: which graphs/Laplacians/projections and
+            # solver configuration produced this representation.
+            print("stage_digests:")
+            for stage, digest in sorted(record.stage_digests.items()):
+                print(f"  {stage:12s} {digest}")
         return 0
 
     # promote

@@ -2,11 +2,14 @@
 
 * :class:`PFR` — linear PFR (Equations 5–7).
 * :class:`KernelPFR` — kernelized extension (Equation 8, §3.3.4).
+* :class:`SpectralFitPlan` / :func:`fit_path` — the staged fit pipeline
+  that makes γ- and d-sweeps reuse all upstream precomputation.
 * :mod:`repro.core.trace_optimization` — the shared eigensolver layer.
 """
 
 from .kernel_pfr import KernelPFR, kernel_matrix
 from .pfr import PFR
+from .plan import Precomputed, SpectralFitPlan, fit_path
 from .trace_optimization import (
     objective_matrix,
     pairwise_loss,
@@ -17,6 +20,9 @@ from .trace_optimization import (
 __all__ = [
     "PFR",
     "KernelPFR",
+    "Precomputed",
+    "SpectralFitPlan",
+    "fit_path",
     "kernel_matrix",
     "objective_matrix",
     "pairwise_loss",

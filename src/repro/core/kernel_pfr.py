@@ -18,12 +18,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from .._validation import check_array, check_is_fitted, check_symmetric
+from .._validation import check_array, check_is_fitted
 from ..exceptions import ValidationError
-from ..graphs.knn import knn_graph, median_heuristic, pairwise_sq_distances
-from ..graphs.laplacian import combine_laplacians, laplacian
+from ..graphs.knn import median_heuristic, pairwise_sq_distances
 from ..ml.base import BaseEstimator, TransformerMixin
-from .trace_optimization import smallest_eigenvectors
+from .plan import SpectralFitPlan
 
 __all__ = ["KernelPFR", "kernel_matrix"]
 
@@ -79,6 +78,10 @@ class KernelPFR(BaseEstimator, TransformerMixin):
         Ascending eigenvalues of ``K L K``.
     X_fit_ : ndarray of shape (n, m)
         Retained training data for out-of-sample kernel evaluation.
+    plan_digests_ : dict
+        SHA-256 digests of the fit plan's stages (graph, laplacian,
+        projection, solve) — the provenance trail the serving registry
+        records in its manifests.
     """
 
     def __init__(
@@ -122,7 +125,14 @@ class KernelPFR(BaseEstimator, TransformerMixin):
         )
 
     def fit(self, X, w_fair, *, w_x=None):
-        """Learn dual coefficients ``A`` from data and a fairness graph."""
+        """Learn dual coefficients ``A`` from data and a fairness graph.
+
+        A thin driver over :class:`repro.core.SpectralFitPlan`, which also
+        clamps ``n_neighbors`` to ``n - 1`` when the internal k-NN graph is
+        built (matching :meth:`repro.core.PFR.fit`). To fit many (γ, d)
+        operating points on the same data, build the plan once — see
+        :func:`repro.core.fit_path`.
+        """
         X = check_array(X, name="X", min_samples=2)
         n = X.shape[0]
         if not 1 <= self.n_components <= n:
@@ -131,121 +141,8 @@ class KernelPFR(BaseEstimator, TransformerMixin):
             )
         if not 0.0 <= self.gamma <= 1.0:
             raise ValidationError(f"gamma must be in [0, 1]; got {self.gamma}")
-
-        w_fair = check_symmetric(w_fair, name="w_fair")
-        if w_fair.shape[0] != n:
-            raise ValidationError(
-                f"w_fair has {w_fair.shape[0]} nodes but X has {n} samples"
-            )
-        if w_x is None:
-            w_x = knn_graph(
-                X,
-                n_neighbors=min(self.n_neighbors, n - 1),
-                bandwidth=self.bandwidth,
-                exclude=self.exclude_columns,
-            )
-        else:
-            w_x = check_symmetric(w_x, name="w_x")
-
-        if self.kernel == "rbf" and self.kernel_bandwidth is None:
-            # Freeze the data-dependent bandwidth now so transform() uses
-            # the same kernel as fit().
-            self._fitted_bandwidth = median_heuristic(X)
-        else:
-            self._fitted_bandwidth = self.kernel_bandwidth
-
-        K = kernel_matrix(
-            X,
-            X,
-            kernel=self.kernel,
-            bandwidth=self._fitted_bandwidth,
-            degree=self.degree,
-            coef0=self.coef0,
-        )
-        if self.constraint == "z":
-            # Work in K's principal subspace: with K = U S Uᵀ and feature
-            # coordinates Φ = U_r √S_r, kernel PFR reduces to *linear* PFR on
-            # Φ under the ZZᵀ = I constraint. This keeps the eigensolver out
-            # of K's (huge, uninformative) near-null space, which otherwise
-            # absorbs all of the smallest eigenvectors.
-            eigenvalues, A = self._fit_principal_subspace(K, w_x, w_fair)
-        elif self.constraint == "v":
-            if self.rescale == "objective":
-                def projected(L):
-                    M_part = K @ (L @ K)
-                    trace = np.trace(M_part)
-                    return M_part / trace if trace > 0 else M_part
-
-                M = (1.0 - self.gamma) * projected(laplacian(w_x)) \
-                    + self.gamma * projected(laplacian(w_fair))
-            else:
-                L = combine_laplacians(
-                    laplacian(w_x),
-                    laplacian(w_fair),
-                    self.gamma,
-                    rescale=self.rescale == "degree",
-                )
-                M = K @ (L @ K)
-            M = 0.5 * (M + M.T)
-            if self.ridge:
-                # K L K is rank-deficient whenever K is; a tiny ridge keeps
-                # the eigensolver away from the exact null space.
-                M = M + self.ridge * np.eye(n)
-            eigenvalues, A = smallest_eigenvectors(
-                M, self.n_components, solver=self.eig_solver
-            )
-        else:
-            raise ValidationError(
-                f"constraint must be 'z' or 'v'; got {self.constraint!r}"
-            )
-        self.alphas_ = A
-        self.eigenvalues_ = eigenvalues
-        self.X_fit_ = X
-        self.n_features_in_ = X.shape[1]
-        return self
-
-    def _fit_principal_subspace(self, K, w_x, w_fair):
-        """Solve kernel PFR in K's principal subspace (ZZᵀ = I mode).
-
-        Returns ascending eigenvalues and dual coefficients ``A`` such that
-        ``Z = K A`` both in- and out-of-sample.
-        """
-        import scipy.linalg
-
-        n = K.shape[0]
-        spectrum, U = scipy.linalg.eigh(0.5 * (K + K.T))
-        keep = spectrum > max(spectrum.max(), 0.0) * 1e-10
-        if not keep.any():
-            raise ValidationError("kernel matrix is numerically zero")
-        S = spectrum[keep]
-        U = U[:, keep]
-        rank = int(keep.sum())
-        if self.n_components > rank:
-            raise ValidationError(
-                f"n_components={self.n_components} exceeds the kernel rank {rank}"
-            )
-        Phi = U * np.sqrt(S)  # (n, r): feature coordinates with K = Phi Phiᵀ
-
-        L_x = laplacian(w_x)
-        L_f = laplacian(w_fair)
-        if self.rescale == "objective":
-            def projected(L):
-                M_part = Phi.T @ (L @ Phi)
-                trace = np.trace(M_part)
-                return M_part / trace if trace > 0 else M_part
-
-            M = (1.0 - self.gamma) * projected(L_x) + self.gamma * projected(L_f)
-        else:
-            L = combine_laplacians(L_x, L_f, self.gamma,
-                                   rescale=self.rescale == "degree")
-            M = Phi.T @ (L @ Phi)
-        M = 0.5 * (M + M.T)
-        B = np.diag(S) + self.ridge * max(float(S.mean()), 1.0) * np.eye(rank)
-
-        eigenvalues, V = smallest_eigenvectors(M, self.n_components, B=B)
-        # Z = Phi V = K (U S^{-1/2} V): fold the basis change into the duals.
-        A = U @ (V / np.sqrt(S)[:, None])
-        return eigenvalues, A
+        plan = SpectralFitPlan.for_estimator(self, X, w_fair, w_x=w_x)
+        return plan.fit(self)
 
     def transform(self, X) -> np.ndarray:
         """Project points through the kernel: ``Z = K(X, X_fit) A``."""

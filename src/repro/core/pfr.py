@@ -20,12 +20,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from .._validation import check_array, check_is_fitted, check_symmetric
+from .._validation import check_array, check_is_fitted
 from ..exceptions import ValidationError
-from ..graphs.knn import knn_graph
-from ..graphs.laplacian import combine_laplacians, laplacian
 from ..ml.base import BaseEstimator, TransformerMixin
-from .trace_optimization import objective_matrix, smallest_eigenvectors
+from .plan import SpectralFitPlan
 
 __all__ = ["PFR"]
 
@@ -91,6 +89,10 @@ class PFR(BaseEstimator, TransformerMixin):
         Eigenvalues associated with each component.
     n_features_in_ : int
         Number of input features ``m`` seen during fit.
+    plan_digests_ : dict
+        SHA-256 digests of the fit plan's stages (graph, laplacian,
+        projection, solve) — the provenance trail the serving registry
+        records in its manifests.
 
     Examples
     --------
@@ -153,6 +155,11 @@ class PFR(BaseEstimator, TransformerMixin):
     def fit(self, X, w_fair, *, w_x=None):
         """Learn the fair basis ``V`` from data and a fairness graph.
 
+        A thin driver over :class:`repro.core.SpectralFitPlan`: the four
+        fit stages (graph, Laplacian, projection, solve) run once for this
+        (γ, d) operating point. To fit many operating points on the same
+        data, build the plan once — see :func:`repro.core.fit_path`.
+
         Parameters
         ----------
         X:
@@ -169,58 +176,9 @@ class PFR(BaseEstimator, TransformerMixin):
             ``exclude_columns``.
         """
         X = check_array(X, name="X", min_samples=2)
-        n, m = X.shape
-        self._validate_hyper_parameters(m)
-
-        w_fair = check_symmetric(w_fair, name="w_fair")
-        if w_fair.shape[0] != n:
-            raise ValidationError(
-                f"w_fair has {w_fair.shape[0]} nodes but X has {n} samples"
-            )
-
-        if w_x is None:
-            w_x = knn_graph(
-                X,
-                n_neighbors=min(self.n_neighbors, n - 1),
-                bandwidth=self.bandwidth,
-                exclude=self.exclude_columns,
-            )
-        else:
-            w_x = check_symmetric(w_x, name="w_x")
-            if w_x.shape[0] != n:
-                raise ValidationError(
-                    f"w_x has {w_x.shape[0]} nodes but X has {n} samples"
-                )
-
-        L_x = laplacian(w_x, normalized=self.normalized_laplacian)
-        L_f = laplacian(w_fair, normalized=self.normalized_laplacian)
-        if self.rescale == "objective":
-            M_x = objective_matrix(X, L_x)
-            M_f = objective_matrix(X, L_f)
-            trace_x = np.trace(M_x)
-            trace_f = np.trace(M_f)
-            if trace_x > 0:
-                M_x = M_x / trace_x
-            if trace_f > 0:
-                M_f = M_f / trace_f
-            M = (1.0 - self.gamma) * M_x + self.gamma * M_f
-        else:
-            L = combine_laplacians(
-                L_x, L_f, self.gamma, rescale=self.rescale == "degree"
-            )
-            M = objective_matrix(X, L)
-        if self.constraint == "z":
-            B = X.T @ X + self.ridge * np.trace(X.T @ X) / m * np.eye(m)
-            eigenvalues, V = smallest_eigenvectors(M, self.n_components, B=B)
-        else:
-            eigenvalues, V = smallest_eigenvectors(
-                M, self.n_components, solver=self.eig_solver
-            )
-
-        self.components_ = V
-        self.eigenvalues_ = eigenvalues
-        self.n_features_in_ = m
-        return self
+        self._validate_hyper_parameters(X.shape[1])
+        plan = SpectralFitPlan.for_estimator(self, X, w_fair, w_x=w_x)
+        return plan.fit(self)
 
     def transform(self, X) -> np.ndarray:
         """Project (possibly unseen) individuals: ``Z = X V``, shape ``(n, d)``."""

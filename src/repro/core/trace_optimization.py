@@ -39,10 +39,13 @@ def sign_normalize(V: np.ndarray) -> np.ndarray:
     making learned transforms reproducible across LAPACK builds and runs.
     """
     V = np.array(V, dtype=np.float64, copy=True)
-    for j in range(V.shape[1]):
-        pivot = np.argmax(np.abs(V[:, j]))
-        if V[pivot, j] < 0:
-            V[:, j] = -V[:, j]
+    if V.size == 0:
+        return V
+    # One vectorized pass: per-column pivot rows (first-max, like argmax in
+    # the scalar loop), then flip every column whose pivot entry is negative.
+    pivots = np.argmax(np.abs(V), axis=0)
+    flip = V[pivots, np.arange(V.shape[1])] < 0
+    V[:, flip] *= -1.0
     return V
 
 

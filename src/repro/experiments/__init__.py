@@ -1,6 +1,6 @@
 """Experiment harness and per-figure reproduction drivers (paper §4)."""
 
-from .builders import build_fairness_graph, fairness_side_scores
+from .builders import build_fairness_graph, build_fit_plan, fairness_side_scores
 from .config import EXPERIMENTS, ExperimentSpec, get_experiment
 from .figures import (
     DEFAULT_GAMMAS,
@@ -21,7 +21,12 @@ from .figures import (
 )
 from .harness import ExperimentHarness, MethodResult, within_group_ranking_scores
 from .pareto import pareto_front, tradeoff_frontier
-from .repetition import AggregateResult, repeat_method, repeat_methods
+from .repetition import (
+    AggregateResult,
+    repeat_gamma_sweep,
+    repeat_method,
+    repeat_methods,
+)
 from .tuning import apply_tuned, default_grid, tune_methods
 from .report import (
     render_bars,
@@ -34,6 +39,7 @@ from .report import (
 
 __all__ = [
     "build_fairness_graph",
+    "build_fit_plan",
     "fairness_side_scores",
     "EXPERIMENTS",
     "ExperimentSpec",
@@ -62,6 +68,7 @@ __all__ = [
     "pareto_front",
     "tradeoff_frontier",
     "AggregateResult",
+    "repeat_gamma_sweep",
     "repeat_method",
     "repeat_methods",
     "render_bars",

@@ -23,7 +23,7 @@ from ..exceptions import ValidationError
 from ..graphs import between_group_quantile_graph, equivalence_class_graph
 from ..ml import LogisticRegression, StandardScaler
 
-__all__ = ["build_fairness_graph", "fairness_side_scores"]
+__all__ = ["build_fairness_graph", "build_fit_plan", "fairness_side_scores"]
 
 
 def fairness_side_scores(dataset: Dataset, *, train_indices=None) -> np.ndarray:
@@ -103,3 +103,51 @@ def build_fairness_graph(
     return between_group_quantile_graph(
         scores, dataset.s, n_quantiles=n_quantiles, mask=observed
     )
+
+
+def build_fit_plan(
+    dataset: Dataset,
+    *,
+    estimator=None,
+    n_quantiles: int = 10,
+    rating_resolution: float = 1.0,
+    train_indices=None,
+    scores=None,
+    w_x=None,
+):
+    """Sweep-ready :class:`~repro.core.SpectralFitPlan` for one workload.
+
+    Builds the workload's fairness graph (:func:`build_fairness_graph`) and
+    stages the whole PFR precomputation over ``dataset.X`` in one call, so
+    downstream code can run γ/d sweeps without an
+    :class:`~repro.experiments.ExperimentHarness`::
+
+        plan = build_fit_plan(simulate_crime(498, 200, seed=0))
+        evals, V = plan.solve(gamma=0.9, d=4)
+
+    Parameters
+    ----------
+    dataset:
+        One of the three workloads.
+    estimator:
+        Template :class:`~repro.core.PFR` / :class:`~repro.core.KernelPFR`
+        supplying the structural hyper-parameters; defaults to a
+        ``PFR`` whose k-NN distances exclude the dataset's protected
+        columns (the paper's ``WX`` definition, §3.1).
+    n_quantiles, rating_resolution, train_indices, scores:
+        Forwarded to :func:`build_fairness_graph`.
+    w_x:
+        Optional precomputed data graph, bypassing the plan's k-NN stage.
+    """
+    from ..core import PFR, SpectralFitPlan
+
+    w_fair = build_fairness_graph(
+        dataset,
+        n_quantiles=n_quantiles,
+        rating_resolution=rating_resolution,
+        train_indices=train_indices,
+        scores=scores,
+    )
+    if estimator is None:
+        estimator = PFR(exclude_columns=list(dataset.protected_columns))
+    return SpectralFitPlan.for_estimator(estimator, dataset.X, w_fair, w_x=w_x)

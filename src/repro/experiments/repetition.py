@@ -15,7 +15,12 @@ import numpy as np
 from ..exceptions import ValidationError
 from .harness import ExperimentHarness
 
-__all__ = ["AggregateResult", "repeat_method", "repeat_methods"]
+__all__ = [
+    "AggregateResult",
+    "repeat_method",
+    "repeat_methods",
+    "repeat_gamma_sweep",
+]
 
 _METRICS = (
     "auc",
@@ -93,6 +98,44 @@ def repeat_method(
         )
         results.append(harness.run_method(method, gamma=gamma, **method_params))
     return _collect(results)
+
+
+def repeat_gamma_sweep(
+    dataset_factory,
+    gammas,
+    *,
+    method: str = "pfr",
+    seeds=(0, 1, 2),
+    harness_kwargs: dict | None = None,
+    **method_params,
+) -> dict:
+    """Error-barred γ-sweep: Figures 4/7/10 with mean ± std per γ.
+
+    One harness per seed runs the whole sweep, so the staged fit pipeline
+    (:class:`~repro.core.SpectralFitPlan`) builds each seed's graphs,
+    Laplacians and projected objective matrices once and reuses them across
+    every γ — the per-point cost is a mix + eigensolve, not a refit.
+
+    Returns ``{gamma: AggregateResult}`` in the input γ order.
+    """
+    if len(seeds) < 2:
+        raise ValidationError("repetition needs at least two seeds")
+    gammas = [float(g) for g in gammas]
+    if not gammas:
+        raise ValidationError("repeat_gamma_sweep needs at least one gamma")
+    if len(set(gammas)) != len(gammas):
+        # per-γ aggregation keys on the value; duplicates would silently
+        # merge and double-count n_runs.
+        raise ValidationError(f"gammas contains duplicates: {gammas}")
+    per_gamma = {gamma: [] for gamma in gammas}
+    for seed in seeds:
+        harness = ExperimentHarness(
+            dataset_factory(seed), seed=seed, **(harness_kwargs or {})
+        )
+        sweep = harness.gamma_sweep(gammas, method=method, **method_params)
+        for gamma, result in zip(gammas, sweep):
+            per_gamma[gamma].append(result)
+    return {gamma: _collect(results) for gamma, results in per_gamma.items()}
 
 
 def repeat_methods(

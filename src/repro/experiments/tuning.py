@@ -10,6 +10,12 @@ workload and returns the winning operating points, which can be fed
 straight back into :meth:`ExperimentHarness.run_method`. The figure
 drivers ship with the results of this procedure baked in (see
 ``figures._harness``); this module lets you re-derive or extend them.
+
+The PFR grid's dominant axis is γ, and the harness routes every PFR fold
+fit through a cached :class:`~repro.core.SpectralFitPlan` keyed on (fold,
+structural params): the fold's graphs, Laplacians and projected objective
+matrices are built once and every γ point in the grid reuses them, so
+widening the γ grid is nearly free.
 """
 
 from __future__ import annotations

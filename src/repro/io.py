@@ -73,6 +73,26 @@ def _unpack_equalized_odds(model, arrays: dict) -> None:
     model.expected_error_ = float(arrays["expected_error_"])
 
 
+def _pack_plan_digests(model) -> dict:
+    """Persist the fit plan's provenance digests (PFR family) as JSON bytes.
+
+    Keeps ``register(load_model(...))`` provenance-complete: the serving
+    registry records these digests in its manifests.
+    """
+    digests = getattr(model, "plan_digests_", None)
+    if not isinstance(digests, dict):
+        return {}
+    payload = json.dumps({str(k): str(v) for k, v in digests.items()})
+    return {"plan_digests_json": np.frombuffer(payload.encode("utf-8"),
+                                               dtype=np.uint8)}
+
+
+def _unpack_plan_digests(model, arrays: dict) -> None:
+    blob = arrays.get("plan_digests_json")
+    if blob is not None:  # absent on artifacts from older library versions
+        model.plan_digests_ = json.loads(bytes(bytearray(blob)).decode("utf-8"))
+
+
 # model type name -> (class, fitted attributes persisted as arrays)
 _REGISTRY = {
     "PFR": (PFR, ("components_", "eigenvalues_", "n_features_in_")),
@@ -127,8 +147,16 @@ _CHECK_ATTRIBUTE = {
 
 # Estimators whose fitted state does not fit the flat-attribute scheme
 # (e.g. dict-valued attributes) provide explicit pack/unpack hooks.
-_PACK_HOOKS = {"EqualizedOddsPostProcessor": _pack_equalized_odds}
-_UNPACK_HOOKS = {"EqualizedOddsPostProcessor": _unpack_equalized_odds}
+_PACK_HOOKS = {
+    "EqualizedOddsPostProcessor": _pack_equalized_odds,
+    "PFR": _pack_plan_digests,
+    "KernelPFR": _pack_plan_digests,
+}
+_UNPACK_HOOKS = {
+    "EqualizedOddsPostProcessor": _unpack_equalized_odds,
+    "PFR": _unpack_plan_digests,
+    "KernelPFR": _unpack_plan_digests,
+}
 
 # Hyper-parameters that hold whole arrays (potentially training-set sized)
 # are persisted as npz arrays rather than inlined into the JSON header,

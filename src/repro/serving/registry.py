@@ -5,7 +5,10 @@ The registry turns fitted estimators into *servable artifacts*: each
 :mod:`repro.io` layer and records a manifest entry carrying everything a
 serving tier needs to admit or reject traffic without loading the model —
 estimator class, hyper-parameters, the library ``__version__`` that wrote
-it, and the input schema (feature count plus protected/excluded columns).
+it, the input schema (feature count plus protected/excluded columns), and —
+for PFR-family models fitted through :class:`repro.core.SpectralFitPlan` —
+the fit plan's stage digests, an auditable fingerprint of the graphs,
+rescale mode and solver configuration that produced the representation.
 
 Layout (one directory per model name)::
 
@@ -63,6 +66,12 @@ class ModelRecord:
     n_features_in: int | None
     excluded_columns: list = field(default_factory=list)
     params: dict = field(default_factory=dict)
+    # Stage digests of the SpectralFitPlan that produced the model (PFR
+    # family): graph/laplacian/projection/solve SHA-256 fingerprints, so
+    # the provenance of a servable artifact — graph parameters, rescale
+    # mode, solver configuration, training inputs — is auditable without
+    # loading it. Empty for estimators fitted outside the plan pipeline.
+    stage_digests: dict = field(default_factory=dict)
     created_at: float = 0.0
     path: str = ""
     is_latest: bool = False
@@ -79,9 +88,24 @@ class ModelRecord:
             "n_features_in": self.n_features_in,
             "excluded_columns": list(self.excluded_columns),
             "params": self.params,
+            "stage_digests": dict(self.stage_digests),
             "created_at": self.created_at,
             "file": Path(self.path).name,
         }
+
+
+def _stage_digests(model) -> dict:
+    """Fit-plan provenance digests of a PFR-family estimator, if present.
+
+    Estimators fitted through :class:`repro.core.SpectralFitPlan` carry a
+    ``plan_digests_`` attribute (graph/laplacian/projection/solve SHA-256
+    fingerprints). Anything else — baselines, models loaded from older
+    artifacts — yields an empty dict.
+    """
+    digests = getattr(model, "plan_digests_", None)
+    if not isinstance(digests, dict):
+        return {}
+    return {str(stage): str(value) for stage, value in digests.items()}
 
 
 def _input_schema(model) -> tuple[int | None, list]:
@@ -179,6 +203,7 @@ class ModelRegistry:
                     n_features_in=n_features,
                     excluded_columns=excluded,
                     params=_jsonable(model.get_params()),
+                    stage_digests=_stage_digests(model),
                     created_at=time.time(),
                     path=str(artifact),
                     is_latest=promote,
@@ -335,6 +360,7 @@ class ModelRegistry:
             n_features_in=entry["n_features_in"],
             excluded_columns=list(entry.get("excluded_columns", [])),
             params=dict(entry.get("params", {})),
+            stage_digests=dict(entry.get("stage_digests", {})),
             created_at=float(entry.get("created_at", 0.0)),
             path=str(self.root / name / entry["file"]),
             is_latest=manifest["latest"] == version,

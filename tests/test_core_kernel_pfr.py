@@ -113,6 +113,15 @@ class TestKernelPFR:
         with pytest.raises(ValidationError, match="n_components"):
             KernelPFR(n_components=6).fit(X, WF)
 
+    def test_n_neighbors_clamped_to_n_minus_one(self, rng):
+        # Regression: KernelPFR must clamp n_neighbors to n - 1 exactly
+        # like PFR.fit does, instead of erroring in the k-NN stage.
+        X = rng.normal(size=(8, 3))
+        WF = pairwise_judgment_graph([(0, 1)], n=8)
+        model = KernelPFR(n_components=2, n_neighbors=50).fit(X, WF)
+        clamped = KernelPFR(n_components=2, n_neighbors=7).fit(X, WF)
+        np.testing.assert_allclose(model.alphas_, clamped.alphas_)
+
     def test_not_fitted(self):
         with pytest.raises(NotFittedError):
             KernelPFR().transform(np.ones((2, 2)))

@@ -145,6 +145,14 @@ class TestValidation:
         with pytest.raises(ValidationError, match="nodes"):
             PFR(n_components=2).fit(X, sp.csr_matrix((8, 8)))
 
+    def test_n_neighbors_clamped_to_n_minus_one(self, rng):
+        # Regression: n_neighbors >= n must clamp to n - 1, not error.
+        X = rng.normal(size=(8, 3))
+        WF = sp.csr_matrix((8, 8))
+        model = PFR(n_components=2, n_neighbors=50).fit(X, WF)
+        clamped = PFR(n_components=2, n_neighbors=7).fit(X, WF)
+        np.testing.assert_allclose(model.components_, clamped.components_)
+
     def test_asymmetric_graph_rejected(self, rng):
         X = rng.normal(size=(5, 2))
         WF = np.zeros((5, 5))

@@ -105,6 +105,27 @@ class TestSignNormalize:
         sign_normalize(V)
         np.testing.assert_array_equal(V, before)
 
+    def test_matches_per_column_reference(self, rng):
+        # Pins the vectorized implementation to the original per-column
+        # loop, including first-max tie-breaking on equal |pivots|.
+        def reference(V):
+            V = np.array(V, dtype=np.float64, copy=True)
+            for j in range(V.shape[1]):
+                pivot = np.argmax(np.abs(V[:, j]))
+                if V[pivot, j] < 0:
+                    V[:, j] = -V[:, j]
+            return V
+
+        for shape in [(1, 1), (7, 1), (8, 3), (20, 12), (3, 9)]:
+            V = rng.normal(size=shape)
+            np.testing.assert_array_equal(sign_normalize(V), reference(V))
+        ties = np.array([[-2.0, 2.0, 0.5], [2.0, -2.0, -0.5], [1.0, 1.0, 0.1]])
+        np.testing.assert_array_equal(sign_normalize(ties), reference(ties))
+
+    def test_empty_matrix(self):
+        out = sign_normalize(np.empty((0, 3)))
+        assert out.shape == (0, 3)
+
 
 class TestObjectiveMatrix:
     def test_symmetry(self, rng, knn_setup):

@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ValidationError
-from repro.experiments import build_fairness_graph, fairness_side_scores
+from repro.experiments import (
+    build_fairness_graph,
+    build_fit_plan,
+    fairness_side_scores,
+)
 from repro.graphs import edge_count
 
 
@@ -88,3 +92,35 @@ class TestBuildFairnessGraph:
             small_admissions, train_indices=harness.train_idx
         )
         assert (W != harness.W_fair_full).nnz == 0
+
+
+class TestBuildFitPlan:
+    def test_default_plan_solves_sweep_points(self, small_admissions):
+        plan = build_fit_plan(small_admissions)
+        evals, V = plan.solve(0.9, 2)
+        assert V.shape == (small_admissions.n_features, 2)
+        assert np.all(np.diff(evals) >= -1e-12)
+        # Default template excludes the protected columns from the k-NN
+        # distances, matching the paper's WX definition (§3.1).
+        assert plan.exclude_columns == list(
+            small_admissions.protected_columns
+        )
+
+    def test_matches_direct_pfr_fit(self, small_admissions):
+        from repro.core import PFR
+
+        template = PFR(
+            n_components=2,
+            gamma=0.7,
+            exclude_columns=list(small_admissions.protected_columns),
+        )
+        plan = build_fit_plan(small_admissions, estimator=template)
+        from repro.ml.base import clone
+
+        planned = plan.fit(clone(template))
+        solo = clone(template).fit(
+            small_admissions.X, build_fairness_graph(small_admissions)
+        )
+        np.testing.assert_allclose(
+            planned.components_, solo.components_, atol=1e-8
+        )

@@ -110,6 +110,17 @@ class TestGammaSweep:
         assert sweep[1].consistency_wf > sweep[0].consistency_wf
         assert sweep[1].auc > sweep[0].auc
 
+    def test_plan_reuse_matches_fresh_harness(self, small_admissions):
+        # The sweep reuses one cached SpectralFitPlan across γ points; the
+        # results must be indistinguishable from refitting on a fresh
+        # harness at each γ.
+        warm = ExperimentHarness(small_admissions, seed=3, n_components=2)
+        sweep = warm.gamma_sweep([0.2, 0.8], method="pfr")
+        assert len(warm._plan_cache) == 1  # one structural config, shared
+        for gamma, result in zip([0.2, 0.8], sweep):
+            fresh = ExperimentHarness(small_admissions, seed=3, n_components=2)
+            assert fresh.run_method("pfr", gamma=gamma).auc == result.auc
+
 
 class TestTune:
     def test_grid_search_returns_best(self, harness):

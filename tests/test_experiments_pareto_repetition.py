@@ -102,6 +102,49 @@ class TestRepetition:
         with pytest.raises(ValidationError, match="unknown metric"):
             aggregate.format("magic")
 
+    def test_repeat_gamma_sweep(self):
+        from repro.experiments import repeat_gamma_sweep
+
+        out = repeat_gamma_sweep(
+            lambda seed: simulate_admissions(60, seed=seed),
+            [0.1, 0.9],
+            seeds=(0, 1),
+            harness_kwargs={"n_components": 2},
+        )
+        assert list(out) == [0.1, 0.9]
+        assert all(a.n_runs == 2 for a in out.values())
+        # Per-γ aggregates must match sweeping each γ independently.
+        solo = repeat_method(
+            lambda seed: simulate_admissions(60, seed=seed),
+            "pfr",
+            seeds=(0, 1),
+            gamma=0.9,
+            harness_kwargs={"n_components": 2},
+        )
+        assert out[0.9].mean["auc"] == solo.mean["auc"]
+
+    def test_repeat_gamma_sweep_validation(self):
+        from repro.experiments import repeat_gamma_sweep
+
+        with pytest.raises(ValidationError, match="two seeds"):
+            repeat_gamma_sweep(
+                lambda seed: simulate_admissions(40, seed=seed),
+                [0.5],
+                seeds=(0,),
+            )
+        with pytest.raises(ValidationError, match="gamma"):
+            repeat_gamma_sweep(
+                lambda seed: simulate_admissions(40, seed=seed),
+                [],
+                seeds=(0, 1),
+            )
+        with pytest.raises(ValidationError, match="duplicates"):
+            repeat_gamma_sweep(
+                lambda seed: simulate_admissions(40, seed=seed),
+                [0.5, 0.5],
+                seeds=(0, 1),
+            )
+
     def test_repeat_methods_shares_datasets(self):
         out = repeat_methods(
             lambda seed: simulate_admissions(50, seed=seed),

@@ -55,6 +55,24 @@ class TestRoundtrip:
             restored.transform(X), model.transform(X), atol=1e-12
         )
 
+    @pytest.mark.parametrize("key", ["pfr", "kpfr"])
+    def test_plan_digests_survive_round_trip(self, fitted_models, tmp_path, key):
+        # Provenance digests must survive persistence so that registering a
+        # loaded model keeps its fit-plan audit trail.
+        model = fitted_models[key]
+        restored = load_model(save_model(model, tmp_path / key))
+        assert restored.plan_digests_ == model.plan_digests_
+
+    def test_legacy_artifact_without_digests_loads(self, fitted_models, tmp_path):
+        model = fitted_models["pfr"]
+        digests = model.plan_digests_
+        try:
+            del model.plan_digests_
+            restored = load_model(save_model(model, tmp_path / "old"))
+        finally:
+            model.plan_digests_ = digests
+        assert not hasattr(restored, "plan_digests_")
+
     def test_logistic_regression(self, fitted_models, tmp_path):
         model = fitted_models["lr"]
         X = fitted_models["X"]

@@ -42,6 +42,27 @@ class TestRegister:
         assert record.spec == "pfr@1"
         assert record.is_latest
 
+    def test_stage_digests_recorded(self, registry, fitted_pfr):
+        model, X = fitted_pfr
+        record = registry.register("pfr", model)
+        assert set(record.stage_digests) == {
+            "graph", "laplacian", "projection", "solve"
+        }
+        assert record.stage_digests == model.plan_digests_
+        # The digests survive the manifest round trip and pin provenance:
+        # the same training inputs + structure reproduce them exactly.
+        reread = registry.record("pfr", record.version)
+        assert reread.stage_digests == record.stage_digests
+        refit = PFR(n_components=2, gamma=0.6, n_neighbors=4).fit(
+            X, pairwise_judgment_graph([(0, 1), (4, 9)], n=40)
+        )
+        assert refit.plan_digests_ == record.stage_digests
+
+    def test_stage_digests_empty_for_non_plan_models(self, registry, rng):
+        scaler = StandardScaler().fit(rng.normal(size=(10, 3)))
+        record = registry.register("scaler", scaler)
+        assert record.stage_digests == {}
+
     def test_register_promotes_by_default(self, registry, fitted_pfr):
         model, _ = fitted_pfr
         registry.register("pfr", model)
