@@ -1,0 +1,292 @@
+"""Landmark-Nyström benchmark: fit PFR on 50k+ rows, serve unseen users.
+
+The exact PFR eigenproblem is transductive: the kernel variant costs
+O(n³) time and O(n²) memory, which stops being runnable long before the
+ROADMAP's "millions of users" scale (a 50k-row kernel matrix alone is
+20 GB). ``extension="nystrom"`` (:mod:`repro.core.approx`) solves on
+m ≪ n landmarks instead. This benchmark quantifies the trade:
+
+1. **Fidelity @ n = 2k** — exact and landmark fits on the same seeded
+   blob workload; embedding fidelity is the aligned cosine similarity on
+   held-out rows. Floors: ≥ 0.95 at the configured sub-n budget, and
+   exact parity (≤ 1e-8) at m = n.
+2. **Scaling curve to n ≥ 50k** — landmark fit times measured at every n;
+   exact kernel fit times measured where affordable and extrapolated with
+   a fitted power law beyond that. Floor: the landmark fit at the largest
+   n must beat the exact extrapolation by ≥ 5×.
+3. **Transform throughput** — rows/second pushing *unseen* users through
+   the fitted landmark model, the serving-path number.
+
+Writes ``benchmarks/output/BENCH_landmark.json`` (override with
+``REPRO_BENCH_LANDMARK_JSON``). Problem sizes scale with
+``REPRO_BENCH_SCALE`` so the CI smoke run stays cheap.
+
+Run directly (``python benchmarks/bench_landmark.py``) or via pytest
+(``pytest benchmarks/bench_landmark.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import __version__
+from repro.core import KernelPFR, PFR, embedding_fidelity
+from repro.datasets import simulate_blobs
+from repro.graphs import knn_graph
+
+OUTPUT_JSON = Path(
+    os.environ.get(
+        "REPRO_BENCH_LANDMARK_JSON",
+        Path(__file__).parent / "output" / "BENCH_landmark.json",
+    )
+)
+
+_SCALE = max(0.02, min(1.0, float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))))
+
+N_FEATURES = 12
+N_COMPONENTS = 4
+GAMMA = 0.5
+
+# Fidelity study: exact fits are still cheap at this size.
+N_FIDELITY = max(300, int(2000 * _SCALE))
+FIDELITY_BUDGET_FRACTIONS = (0.05, 0.15, 0.4)
+
+# Scaling study: the landmark path runs at every n; the exact kernel path
+# runs only up to N_EXACT_CAP and is extrapolated beyond.
+N_SCALING = sorted({max(500, int(n * _SCALE)) for n in (2_000, 8_000, 20_000, 50_000)})
+N_EXACT_CAP = max(400, int(1600 * _SCALE))
+N_LANDMARKS = max(64, int(2000 * _SCALE))
+N_UNSEEN = max(1000, int(10_000 * _SCALE))
+
+SPEEDUP_FLOOR = float(os.environ.get("REPRO_BENCH_LANDMARK_SPEEDUP_FLOOR", "5.0"))
+FIDELITY_FLOOR = float(os.environ.get("REPRO_BENCH_LANDMARK_FIDELITY_FLOOR", "0.95"))
+PARITY_TOL = 1e-8
+
+
+def _workload(n: int, seed: int = 0, n_eval: int = 0):
+    """Blob dataset + a *sparse* fairness graph that stays O(n) in memory.
+
+    Clique-style quantile graphs are fine at paper scale but quadratic in
+    the worst case; at 50k+ rows the benchmark links each individual to
+    its nearest peers in merit-score space instead — the same "similar
+    merit ⇒ similar treatment" judgment, sparsified.
+
+    With ``n_eval > 0``, that many extra rows are drawn from the *same*
+    population and held out: they never enter the fairness graph or the
+    fit, which makes them genuine unseen users for fidelity / throughput.
+    """
+    data = simulate_blobs(n + n_eval, n_features=N_FEATURES, seed=seed)
+    X_train = data.X[:n]
+    merit_train = data.side_information[:n]
+    w_fair = knn_graph(merit_train[:, None], n_neighbors=8, bandwidth=1.0)
+    if n_eval:
+        return X_train, w_fair, data.X[n:]
+    return X_train, w_fair
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _landmark_estimator(cls, m: int, **extra):
+    return cls(
+        n_components=N_COMPONENTS,
+        gamma=GAMMA,
+        extension="nystrom",
+        landmarks=m,
+        landmark_strategy="kmeans++",
+        landmark_seed=0,
+        **extra,
+    )
+
+
+def bench_fidelity() -> dict:
+    """Exact vs landmark embeddings on held-out rows at fidelity scale."""
+    X, w_fair, X_eval = _workload(
+        N_FIDELITY, seed=5, n_eval=max(200, N_FIDELITY // 4)
+    )
+
+    results = {}
+    for name, cls in (("pfr", PFR), ("kernel_pfr", KernelPFR)):
+        exact_seconds, exact = _timed(
+            lambda cls=cls: cls(n_components=N_COMPONENTS, gamma=GAMMA).fit(X, w_fair)
+        )
+        Z_ref = exact.transform(X_eval)
+        curve = []
+        for fraction in FIDELITY_BUDGET_FRACTIONS:
+            m = max(N_COMPONENTS + 2, int(N_FIDELITY * fraction))
+            seconds, model = _timed(
+                lambda cls=cls, m=m: _landmark_estimator(cls, m).fit(X, w_fair)
+            )
+            curve.append(
+                {
+                    "landmarks": m,
+                    "fit_seconds": seconds,
+                    "fidelity": embedding_fidelity(Z_ref, model.transform(X_eval)),
+                }
+            )
+        # m = n: the landmark fit must reproduce the exact solve.
+        parity_model = _landmark_estimator(cls, N_FIDELITY).fit(X, w_fair)
+        basis = "components_" if name == "pfr" else "alphas_"
+        parity = float(
+            np.abs(getattr(parity_model, basis) - getattr(exact, basis)).max()
+        )
+        results[name] = {
+            "n": N_FIDELITY,
+            "exact_fit_seconds": exact_seconds,
+            "curve": curve,
+            "best_fidelity": max(point["fidelity"] for point in curve),
+            "parity_max_abs_diff_at_m_equals_n": parity,
+        }
+    return results
+
+
+def _fit_power_law(ns, seconds) -> tuple[float, float]:
+    """Least-squares fit of ``t = a·n^b`` in log-log space."""
+    log_n = np.log(np.asarray(ns, dtype=np.float64))
+    log_t = np.log(np.maximum(np.asarray(seconds, dtype=np.float64), 1e-9))
+    b, log_a = np.polyfit(log_n, log_t, 1)
+    return float(np.exp(log_a)), float(b)
+
+
+def bench_scaling() -> dict:
+    """Landmark fit + transform throughput across n; exact extrapolation."""
+    # Exact kernel fits where affordable — the extrapolation anchors.
+    exact_ns = sorted({max(200, N_EXACT_CAP // 4), N_EXACT_CAP // 2, N_EXACT_CAP})
+    exact_seconds = []
+    for n in exact_ns:
+        X, w_fair = _workload(n, seed=1)
+        seconds, _ = _timed(
+            lambda: KernelPFR(n_components=N_COMPONENTS, gamma=GAMMA).fit(X, w_fair)
+        )
+        exact_seconds.append(seconds)
+    coefficient, exponent = _fit_power_law(exact_ns, exact_seconds)
+
+    curve = []
+    for n in N_SCALING:
+        m = min(N_LANDMARKS, n)
+        X, w_fair, X_unseen = _workload(n, seed=1, n_eval=N_UNSEEN)
+        fit_seconds, model = _timed(
+            lambda m=m: _landmark_estimator(KernelPFR, m).fit(X, w_fair)
+        )
+        transform_seconds, Z = _timed(lambda: model.transform(X_unseen))
+        exact_extrapolated = coefficient * n**exponent
+        curve.append(
+            {
+                "n": n,
+                "landmarks": m,
+                "fit_seconds": fit_seconds,
+                "exact_seconds_extrapolated": exact_extrapolated,
+                "fit_speedup_vs_exact_extrapolation": exact_extrapolated / fit_seconds,
+                "transform_rows_per_second": (
+                    N_UNSEEN / transform_seconds if transform_seconds > 0 else 0.0
+                ),
+                "embedding_width": int(Z.shape[1]),
+            }
+        )
+    return {
+        "exact_anchor_ns": exact_ns,
+        "exact_anchor_seconds": exact_seconds,
+        "exact_power_law": {"coefficient": coefficient, "exponent": exponent},
+        "curve": curve,
+    }
+
+
+def run_benchmark() -> dict:
+    return {
+        "benchmark": "landmark",
+        "library_version": __version__,
+        "timestamp": time.time(),
+        "config": {
+            "scale": _SCALE,
+            "n_features": N_FEATURES,
+            "n_components": N_COMPONENTS,
+            "gamma": GAMMA,
+            "n_fidelity": N_FIDELITY,
+            "fidelity_budget_fractions": list(FIDELITY_BUDGET_FRACTIONS),
+            "n_scaling": list(N_SCALING),
+            "n_exact_cap": N_EXACT_CAP,
+            "n_landmarks": N_LANDMARKS,
+            "n_unseen": N_UNSEEN,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "fidelity_floor": FIDELITY_FLOOR,
+            "parity_tol": PARITY_TOL,
+        },
+        "fidelity": bench_fidelity(),
+        "scaling": bench_scaling(),
+    }
+
+
+def write_results(payload: dict) -> Path:
+    OUTPUT_JSON.parent.mkdir(parents=True, exist_ok=True)
+    OUTPUT_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return OUTPUT_JSON
+
+
+def _check(payload: dict) -> list:
+    """The PR's acceptance floors; returns a list of failure strings."""
+    failures = []
+    for name, result in payload["fidelity"].items():
+        if result["best_fidelity"] < FIDELITY_FLOOR:
+            failures.append(
+                f"{name}: best fidelity {result['best_fidelity']:.4f} < "
+                f"{FIDELITY_FLOOR}"
+            )
+        parity = result["parity_max_abs_diff_at_m_equals_n"]
+        if parity > PARITY_TOL:
+            failures.append(f"{name}: m=n parity {parity:.2e} > {PARITY_TOL}")
+    largest = payload["scaling"]["curve"][-1]
+    if largest["fit_speedup_vs_exact_extrapolation"] < SPEEDUP_FLOOR:
+        failures.append(
+            f"n={largest['n']}: landmark speedup "
+            f"{largest['fit_speedup_vs_exact_extrapolation']:.1f}x < "
+            f"{SPEEDUP_FLOOR}x vs exact extrapolation"
+        )
+    return failures
+
+
+def test_landmark_scaling():
+    payload = run_benchmark()
+    path = write_results(payload)
+    assert path.is_file()
+    failures = _check(payload)
+    assert not failures, "; ".join(failures)
+
+
+def main() -> int:
+    payload = run_benchmark()
+    path = write_results(payload)
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {path}", file=sys.stderr)
+    for name, result in payload["fidelity"].items():
+        best = result["best_fidelity"]
+        parity = result["parity_max_abs_diff_at_m_equals_n"]
+        print(
+            f"{name:12s} n={result['n']:6d}  best fidelity {best:.4f}  "
+            f"m=n parity {parity:.2e}",
+            file=sys.stderr,
+        )
+    for point in payload["scaling"]["curve"]:
+        print(
+            f"n={point['n']:6d} m={point['landmarks']:5d}  "
+            f"fit {point['fit_seconds']:8.2f}s  "
+            f"exact~{point['exact_seconds_extrapolated']:10.1f}s  "
+            f"speedup {point['fit_speedup_vs_exact_extrapolation']:10.1f}x  "
+            f"transform {point['transform_rows_per_second']:9.0f} rows/s",
+            file=sys.stderr,
+        )
+    failures = _check(payload)
+    print("PASS" if not failures else "FAIL: " + "; ".join(failures), file=sys.stderr)
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,14 @@ from .baselines import (
     MaskedRepresentation,
     SideInformationAugmenter,
 )
-from .core import PFR, KernelPFR, SpectralFitPlan, fit_path
+from .core import (
+    PFR,
+    KernelPFR,
+    LandmarkPlan,
+    SpectralFitPlan,
+    fit_path,
+    select_landmarks,
+)
 from .datasets import (
     Dataset,
     load_compas,
@@ -78,8 +85,10 @@ def __getattr__(name):
 __all__ = [
     "PFR",
     "KernelPFR",
+    "LandmarkPlan",
     "SpectralFitPlan",
     "fit_path",
+    "select_landmarks",
     "EqualizedOddsPostProcessor",
     "IFair",
     "LFR",

@@ -192,6 +192,10 @@ def _cmd_models(args) -> int:
         print(f"library_version: {record.library_version}")
         print(f"n_features_in:   {record.n_features_in}")
         print(f"excluded_cols:   {record.excluded_columns}")
+        if record.landmarks is not None:
+            # Nyström fits solve on m landmarks yet serve arbitrary rows;
+            # surface that so operators know the model's fidelity regime.
+            print(f"landmarks:       {record.landmarks} (nystrom extension)")
         print(f"artifact:        {record.path}")
         print(f"all_versions:    {versions}")
         print(f"params:          {json.dumps(record.params, sort_keys=True)}")

@@ -1,0 +1,586 @@
+"""Landmark-Nyström scaling layer: fit PFR far beyond the paper's n.
+
+The paper's PFR solves one trace-minimization eigenproblem over *all* n
+training individuals (Equations 7–8). That is transductive and — in the
+kernel case — O(n³) time / O(n²) memory, fine for COMPAS (n ≈ 9k) but a
+dead end for population-scale deployments. This module implements the
+standard escape hatch for Laplacian-eigenmap-style methods: solve the
+eigenproblem on ``m ≪ n`` *landmarks* and extend the solution to everyone
+else.
+
+:class:`LandmarkPlan` runs three steps:
+
+1. **Select** ``m`` landmarks from the n training rows
+   (:func:`select_landmarks`): uniform sampling, k-means++ D²-sampling, or
+   farthest-point traversal — all seeded, all computed on the
+   non-protected columns like the paper's ``Np``.
+2. **Solve** the fused k-NN + fairness eigenproblem *only on the
+   landmarks* by instantiating the PR-2 :class:`~repro.core.SpectralFitPlan`
+   over the landmark rows and the landmark-restricted fairness graph —
+   every staged-fit feature (γ/d sweep caching, eigengap-guarded slicing,
+   chained digests) carries over for free.
+3. **Extend** out of sample. The landmark solve yields a *parametric*
+   map — ``Z = X V`` for linear PFR, ``Z = K(X, X_landmarks) A`` for
+   kernel PFR (the classic Nyström extension of the eigenvectors) — so
+   ``transform(X_new)`` works for arbitrary unseen rows. For diagnostics
+   and for models without a parametric form, :func:`nystrom_extend` offers
+   the graph-smoothing alternative built on
+   :func:`repro.graphs.knn_cross`.
+
+Estimator entry point: ``PFR(extension="nystrom", landmarks=m)`` (same for
+:class:`~repro.core.KernelPFR`). Fitted models record a ``landmarks``
+stage digest in ``plan_digests_`` ahead of the usual graph → laplacian →
+projection → solve chain, so serving manifests can audit *which* subsample
+produced a representation. ``benchmarks/bench_landmark.py`` quantifies the
+fidelity/speed trade-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._validation import check_array, check_random_state, check_symmetric
+from ..exceptions import ValidationError
+from ..graphs.knn import _distance_view, knn_cross
+from .plan import Precomputed, SpectralFitPlan, _stage_digest
+
+__all__ = [
+    "LANDMARK_STRATEGIES",
+    "LandmarkPlan",
+    "check_extension_params",
+    "embedding_fidelity",
+    "nystrom_extend",
+    "plan_for_estimator",
+    "select_landmarks",
+]
+
+LANDMARK_STRATEGIES = ("uniform", "kmeans++", "farthest")
+
+_EXTENSIONS = ("exact", "nystrom")
+
+
+def check_extension_params(estimator) -> None:
+    """Validate an estimator's ``extension``/``landmark*`` hyper-parameters.
+
+    Shared by ``PFR`` and ``KernelPFR``: ``extension`` must be ``"exact"``
+    or ``"nystrom"``; the nystrom mode additionally needs an integer
+    ``landmarks >= 2`` and a known ``landmark_strategy``.
+    """
+    if estimator.extension not in _EXTENSIONS:
+        raise ValidationError(
+            f"extension must be one of {_EXTENSIONS}; got {estimator.extension!r}"
+        )
+    if estimator.extension == "exact":
+        return
+    if estimator.landmarks is None:
+        raise ValidationError("extension='nystrom' requires landmarks=<int>")
+    if int(estimator.landmarks) < 2:
+        raise ValidationError(
+            f"landmarks must be >= 2; got {estimator.landmarks}"
+        )
+    if estimator.landmark_strategy not in LANDMARK_STRATEGIES:
+        raise ValidationError(
+            f"unknown landmark strategy {estimator.landmark_strategy!r}; "
+            f"use one of {LANDMARK_STRATEGIES}"
+        )
+
+
+def _min_sq_distances(view: np.ndarray, center: np.ndarray) -> np.ndarray:
+    """Squared euclidean distance from every row of ``view`` to ``center``."""
+    delta = view - center[None, :]
+    return np.einsum("ij,ij->i", delta, delta)
+
+
+def select_landmarks(
+    X,
+    n_landmarks: int,
+    *,
+    strategy: str = "kmeans++",
+    seed=0,
+    exclude=None,
+) -> np.ndarray:
+    """Choose ``m`` landmark row indices from ``X`` (sorted ascending).
+
+    Parameters
+    ----------
+    X:
+        Feature matrix of shape ``(n, m_features)``.
+    n_landmarks:
+        Number of landmarks ``m``, ``2 <= m <= n``.
+    strategy:
+        * ``"uniform"`` — i.i.d. sampling without replacement; cheapest,
+          and unbiased for well-mixed data.
+        * ``"kmeans++"`` (default) — D²-sampling: each next landmark is
+          drawn with probability proportional to its squared distance to
+          the nearest landmark so far. Covers clusters proportionally to
+          their spread without the farthest-point outlier obsession.
+        * ``"farthest"`` — greedy farthest-point traversal; deterministic
+          after the seeded start, maximal coverage of the data's extent.
+    seed:
+        Generator seed; selection is a pure function of ``(X, m, strategy,
+        seed, exclude)``.
+    exclude:
+        Column indices dropped before computing distances (the paper
+        excludes protected attributes from neighborhoods, §3.1). Ignored
+        by ``"uniform"``.
+
+    Returns
+    -------
+    ndarray of shape (m,)
+        Sorted, unique row indices. Sorting keeps ``m = n`` selections
+        byte-identical to the full training set, which is what makes the
+        exact-parity guarantee of :class:`LandmarkPlan` trivial to audit.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import select_landmarks
+    >>> X = np.random.default_rng(0).normal(size=(100, 3))
+    >>> indices = select_landmarks(X, 4, strategy="farthest", seed=1)
+    >>> indices.shape, bool(np.all(np.diff(indices) > 0))
+    ((4,), True)
+    """
+    X = check_array(X, name="X", min_samples=2)
+    n = X.shape[0]
+    n_landmarks = int(n_landmarks)
+    if not 2 <= n_landmarks <= n:
+        raise ValidationError(
+            f"n_landmarks must be in [2, n={n}]; got {n_landmarks}"
+        )
+    if strategy not in LANDMARK_STRATEGIES:
+        raise ValidationError(
+            f"unknown landmark strategy {strategy!r}; "
+            f"use one of {LANDMARK_STRATEGIES}"
+        )
+    rng = check_random_state(seed)
+
+    if strategy == "uniform" or n_landmarks == n:
+        return np.sort(rng.choice(n, size=n_landmarks, replace=False))
+
+    view = _distance_view(X, exclude)
+
+    chosen = np.empty(n_landmarks, dtype=np.int64)
+    chosen[0] = int(rng.integers(n))
+    # Running minimum squared distance to the chosen set: one O(n·f) update
+    # per new landmark keeps the whole selection O(n·m·f).
+    d2 = _min_sq_distances(view, view[chosen[0]])
+    for i in range(1, n_landmarks):
+        total = float(d2.sum())
+        if total <= 0.0:
+            # Every remaining point coincides with a landmark; fall back to
+            # uniform among the unchosen so selection always completes.
+            remaining = np.setdiff1d(np.arange(n), chosen[:i])
+            chosen[i:] = rng.choice(
+                remaining, size=n_landmarks - i, replace=False
+            )
+            break
+        if strategy == "kmeans++":
+            next_index = int(rng.choice(n, p=d2 / total))
+        else:  # farthest-point: deterministic argmax after the seeded start
+            next_index = int(np.argmax(d2))
+        chosen[i] = next_index
+        np.minimum(d2, _min_sq_distances(view, view[next_index]), out=d2)
+    return np.sort(chosen)
+
+
+def nystrom_extend(
+    X_new,
+    X_landmarks,
+    Z_landmarks,
+    *,
+    n_neighbors: int = 10,
+    bandwidth: float | None = None,
+    exclude=None,
+) -> np.ndarray:
+    """Graph-smoothing Nyström extension of a landmark embedding.
+
+    Embeds unseen rows as the heat-kernel-weighted average of their
+    ``n_neighbors`` nearest landmarks' embeddings:
+    ``z(x) = Σ_j w_j(x) z_j / Σ_j w_j(x)`` with ``w`` from
+    :func:`repro.graphs.knn_cross`. This is the generic Laplacian-eigenmap
+    out-of-sample rule; PFR-family models prefer their parametric maps
+    (``X V`` / ``K A``), but this version needs only landmark coordinates
+    and embeddings, so it applies to *any* representation and is what the
+    fidelity diagnostics in ``benchmarks/bench_landmark.py`` use as a
+    model-free cross-check.
+
+    Parameters
+    ----------
+    X_new:
+        Query rows of shape ``(q, m_features)``.
+    X_landmarks, Z_landmarks:
+        Landmark coordinates ``(m, m_features)`` and their embedding
+        ``(m, d)``.
+    n_neighbors, bandwidth, exclude:
+        Forwarded to :func:`repro.graphs.knn_cross`; ``n_neighbors`` is
+        clamped to the landmark count.
+
+    Returns
+    -------
+    ndarray of shape (q, d)
+        Extended embedding; a query with all-zero weights (heat-kernel
+        underflow) falls back to its single nearest landmark's embedding.
+    """
+    X_new = check_array(X_new, name="X_new")
+    X_landmarks = check_array(X_landmarks, name="X_landmarks", min_samples=1)
+    Z_landmarks = np.asarray(Z_landmarks, dtype=np.float64)
+    if Z_landmarks.ndim != 2 or Z_landmarks.shape[0] != X_landmarks.shape[0]:
+        raise ValidationError(
+            f"Z_landmarks must be (n_landmarks, d) = ({X_landmarks.shape[0]}, d); "
+            f"got shape {Z_landmarks.shape}"
+        )
+    k = min(int(n_neighbors), X_landmarks.shape[0])
+    weights = knn_cross(
+        X_new,
+        X_landmarks,
+        n_neighbors=k,
+        bandwidth=bandwidth,
+        exclude=exclude,
+    )
+    mass = np.asarray(weights.sum(axis=1)).ravel()
+    degenerate = mass <= 0.0
+    if degenerate.any():
+        # All k weights underflowed: use the single nearest landmark.
+        nearest = knn_cross(
+            X_new[degenerate],
+            X_landmarks,
+            n_neighbors=1,
+            bandwidth=bandwidth,
+            exclude=exclude,
+            binary=True,
+        )
+        out = np.zeros((X_new.shape[0], Z_landmarks.shape[1]))
+        out[~degenerate] = (
+            (weights[~degenerate] @ Z_landmarks) / mass[~degenerate][:, None]
+        )
+        out[degenerate] = nearest @ Z_landmarks
+        return out
+    return (weights @ Z_landmarks) / mass[:, None]
+
+
+def embedding_fidelity(Z_ref, Z) -> float:
+    """Mean row-wise cosine similarity after the best linear alignment.
+
+    Embeddings are equivalent up to an invertible linear map (downstream
+    linear models cannot tell them apart), so fidelity least-squares-aligns
+    ``Z`` onto ``Z_ref`` before comparing rows — a Procrustes-style
+    measure generalized to absorb the per-column scale differences between
+    an m-row and an n-row orthonormality constraint. Returns 1.0 for
+    equivalent embeddings; this is the acceptance metric of
+    ``benchmarks/bench_landmark.py`` and the monotonicity lockdown in
+    ``tests/test_core_approx.py``.
+    """
+    Z_ref = np.asarray(Z_ref, dtype=np.float64)
+    Z = np.asarray(Z, dtype=np.float64)
+    if Z_ref.shape != Z.shape or Z_ref.ndim != 2:
+        raise ValidationError(
+            f"embedding_fidelity needs two equal-shape 2-D embeddings; "
+            f"got {Z_ref.shape} and {Z.shape}"
+        )
+    A, *_ = np.linalg.lstsq(Z, Z_ref, rcond=None)
+    Z_aligned = Z @ A
+    numerator = np.sum(Z_aligned * Z_ref, axis=1)
+    denominator = np.maximum(
+        np.linalg.norm(Z_aligned, axis=1) * np.linalg.norm(Z_ref, axis=1),
+        1e-15,
+    )
+    return float(np.mean(numerator / denominator))
+
+
+def _restrict(W, indices: np.ndarray):
+    """Symmetric restriction ``W[indices][:, indices]`` (sparse or dense)."""
+    if sp.issparse(W):
+        return W.tocsr()[indices][:, indices]
+    return np.asarray(W)[np.ix_(indices, indices)]
+
+
+class LandmarkPlan:
+    """Landmark-Nyström fit pipeline for PFR-family estimators.
+
+    Selects ``n_landmarks`` training rows (:func:`select_landmarks`),
+    restricts the fairness graph (and any precomputed data graph) to them,
+    and drives a :class:`~repro.core.SpectralFitPlan` over the landmark
+    subproblem — so the eigenproblem costs O(m³) instead of O(n³) while
+    γ/d sweeps keep the PR-2 warm-start behavior. :meth:`fit` populates a
+    ``PFR(extension="nystrom")`` / ``KernelPFR(extension="nystrom")``
+    estimator whose ``transform`` then serves arbitrary unseen rows.
+
+    With ``n_landmarks = n`` every strategy selects all rows and the sorted
+    index set makes the landmark matrices byte-identical to the full ones:
+    the plan then reproduces the exact :class:`SpectralFitPlan` solve to
+    machine precision (locked down by ``tests/test_core_approx.py``).
+
+    Parameters are :class:`SpectralFitPlan`'s plus the landmark knobs;
+    build instances via :meth:`for_estimator` in user code.
+    """
+
+    def __init__(
+        self,
+        X,
+        w_fair,
+        *,
+        n_landmarks: int,
+        strategy: str = "kmeans++",
+        seed=0,
+        kind: str = "linear",
+        w_x=None,
+        exclude_columns=None,
+        **structural,
+    ):
+        X = check_array(X, name="X", min_samples=2)
+        n = X.shape[0]
+        w_fair = check_symmetric(w_fair, name="w_fair")
+        if w_fair.shape[0] != n:
+            raise ValidationError(
+                f"w_fair has {w_fair.shape[0]} nodes but X has {n} samples"
+            )
+        if w_x is not None:
+            w_x = check_symmetric(w_x, name="w_x")
+            if w_x.shape[0] != n:
+                raise ValidationError(
+                    f"w_x has {w_x.shape[0]} nodes but X has {n} samples"
+                )
+
+        self.X = X
+        self.n_landmarks = int(n_landmarks)
+        self.strategy = strategy
+        self.seed = seed
+        self.indices_ = select_landmarks(
+            X,
+            self.n_landmarks,
+            strategy=strategy,
+            seed=seed,
+            exclude=exclude_columns,
+        )
+        self.X_landmarks_ = X[self.indices_]
+        w_fair_landmarks = _restrict(w_fair, self.indices_)
+        w_x_landmarks = None if w_x is None else _restrict(w_x, self.indices_)
+        self.subplan = SpectralFitPlan(
+            self.X_landmarks_,
+            w_fair_landmarks,
+            kind=kind,
+            w_x=w_x_landmarks,
+            exclude_columns=exclude_columns,
+            **structural,
+        )
+        # Tell the subplan its estimators legitimately carry
+        # extension="nystrom" (SpectralFitPlan otherwise rejects them so a
+        # bare exact plan can never silently fit a landmark estimator).
+        self.subplan._landmark_driver = True
+        self._landmark_digest = _stage_digest(
+            "landmarks",
+            {
+                "n_landmarks": self.n_landmarks,
+                "strategy": self.strategy,
+                "seed": repr(self.seed),
+                "n_total": n,
+            },
+            {"X": X, "indices": self.indices_},
+        )
+
+    # ------------------------------------------------------------ factory
+    @classmethod
+    def for_estimator(cls, estimator, X, w_fair, *, w_x=None) -> "LandmarkPlan":
+        """Build the landmark plan matching a PFR/KernelPFR's configuration.
+
+        The estimator must have ``extension="nystrom"`` and an integer
+        ``landmarks``; its γ and ``n_components`` stay free sweep axes,
+        exactly as with :meth:`SpectralFitPlan.for_estimator`.
+        """
+        from .kernel_pfr import KernelPFR
+        from .pfr import PFR
+
+        if getattr(estimator, "extension", "exact") != "nystrom":
+            raise ValidationError(
+                "LandmarkPlan.for_estimator needs an estimator with "
+                f"extension='nystrom'; got {getattr(estimator, 'extension', 'exact')!r}"
+            )
+        if estimator.landmarks is None:
+            raise ValidationError(
+                "extension='nystrom' requires landmarks=<int>; got None"
+            )
+        landmark_kwargs = dict(
+            n_landmarks=int(estimator.landmarks),
+            strategy=estimator.landmark_strategy,
+            seed=estimator.landmark_seed,
+        )
+        # n is the capacity ceiling: asking for more landmarks than rows
+        # degrades gracefully to the exact solve.
+        n = check_array(X, name="X", min_samples=2).shape[0]
+        landmark_kwargs["n_landmarks"] = min(landmark_kwargs["n_landmarks"], n)
+
+        if isinstance(estimator, KernelPFR):
+            return cls(
+                X,
+                w_fair,
+                kind="kernel",
+                w_x=w_x,
+                n_neighbors=estimator.n_neighbors,
+                bandwidth=estimator.bandwidth,
+                exclude_columns=estimator.exclude_columns,
+                rescale=estimator.rescale,
+                constraint=estimator.constraint,
+                ridge=estimator.ridge,
+                eig_solver=estimator.eig_solver,
+                kernel=estimator.kernel,
+                kernel_bandwidth=estimator.kernel_bandwidth,
+                degree=estimator.degree,
+                coef0=estimator.coef0,
+                **landmark_kwargs,
+            )
+        if isinstance(estimator, PFR):
+            return cls(
+                X,
+                w_fair,
+                kind="linear",
+                w_x=w_x,
+                n_neighbors=estimator.n_neighbors,
+                bandwidth=estimator.bandwidth,
+                exclude_columns=estimator.exclude_columns,
+                normalized_laplacian=estimator.normalized_laplacian,
+                rescale=estimator.rescale,
+                constraint=estimator.constraint,
+                ridge=estimator.ridge,
+                eig_solver=estimator.eig_solver,
+                **landmark_kwargs,
+            )
+        raise ValidationError(
+            f"for_estimator expects a PFR or KernelPFR; got {type(estimator).__name__}"
+        )
+
+    # ---------------------------------------------------------- delegation
+    @property
+    def graph(self) -> Precomputed:
+        """Stage bundle of the landmark subproblem's graphs."""
+        return self.subplan.graph
+
+    @property
+    def laplacians(self) -> Precomputed:
+        """Stage bundle of the landmark subproblem's Laplacians."""
+        return self.subplan.laplacians
+
+    @property
+    def projection(self) -> Precomputed:
+        """Stage bundle of the landmark subproblem's objective matrices."""
+        return self.subplan.projection
+
+    @property
+    def d_max(self) -> int:
+        """Largest latent dimensionality the landmark subproblem supports."""
+        return self.subplan.d_max
+
+    def solve(self, gamma: float, d: int):
+        """Eigenpairs of the γ-mixed *landmark* objective (see
+        :meth:`SpectralFitPlan.solve` — caching and eigengap guards apply
+        unchanged)."""
+        return self.subplan.solve(gamma, d)
+
+    def fit(self, estimator):
+        """Populate a nystrom-extension estimator from the landmark solve.
+
+        Beyond :meth:`SpectralFitPlan.fit`, records the selected
+        ``landmark_indices_`` (positions into the *full* training matrix)
+        and prepends the ``landmarks`` stage digest to ``plan_digests_``.
+        Returns the estimator.
+        """
+        self._check_landmark_match(estimator)
+        self.subplan.fit(estimator)
+        estimator.landmark_indices_ = self.indices_.copy()
+        estimator.plan_digests_ = self.stage_digests()
+        return estimator
+
+    def extend(self, X_new, Z_landmarks=None, *, gamma=None, d=None) -> np.ndarray:
+        """Graph-smoothing extension of a landmark embedding to new rows.
+
+        Either pass an explicit landmark embedding ``Z_landmarks`` or a
+        ``(gamma, d)`` operating point, in which case the landmark
+        subproblem is solved (cache-warm) and its primal embedding is
+        extended. See :func:`nystrom_extend` for the weighting rule.
+        """
+        if Z_landmarks is None:
+            if gamma is None or d is None:
+                raise ValidationError(
+                    "extend() needs Z_landmarks or both gamma and d"
+                )
+            _, V = self.solve(gamma, d)
+            if self.subplan.kind == "linear":
+                Z_landmarks = self.X_landmarks_ @ V
+            else:
+                proj = self.subplan.projection
+                if proj["whiten"] is not None:
+                    # Constraint 'z': solve() returns coordinates in K's
+                    # principal subspace Φ = U√S, so Z = Φ V.
+                    Z_landmarks = (proj["kernel_basis"] *
+                                   np.sqrt(proj["kernel_spectrum"])) @ V
+                else:
+                    # Constraint 'v': solve() returns the duals A; Z = K A.
+                    from .kernel_pfr import kernel_matrix
+
+                    K = kernel_matrix(
+                        self.X_landmarks_,
+                        self.X_landmarks_,
+                        kernel=self.subplan.kernel,
+                        bandwidth=proj["fitted_bandwidth"],
+                        degree=self.subplan.degree,
+                        coef0=self.subplan.coef0,
+                    )
+                    Z_landmarks = K @ V
+        return nystrom_extend(
+            X_new,
+            self.X_landmarks_,
+            Z_landmarks,
+            n_neighbors=min(self.subplan.n_neighbors, len(self.indices_)),
+            bandwidth=self.subplan.bandwidth,
+            exclude=self.subplan.exclude_columns,
+        )
+
+    # ------------------------------------------------------------ digests
+    def stage_digests(self) -> dict:
+        """Provenance chain: ``landmarks`` + the landmark subproblem stages.
+
+        The ``landmarks`` digest fingerprints the full training matrix,
+        the selection knobs and the chosen indices; the downstream stage
+        digests (graph → laplacian → projection → solve) come from the
+        subplan, whose graph stage already hashes the landmark rows — so
+        two plans share a chain iff they agree on the data, the selection
+        and every structural hyper-parameter.
+        """
+        return {"landmarks": self._landmark_digest, **self.subplan.stage_digests()}
+
+    # ------------------------------------------------------------ internal
+    def _check_landmark_match(self, estimator) -> None:
+        if getattr(estimator, "extension", "exact") != "nystrom":
+            raise ValidationError(
+                "LandmarkPlan fits estimators with extension='nystrom'; "
+                f"got extension={getattr(estimator, 'extension', 'exact')!r}"
+            )
+        wanted = min(int(estimator.landmarks), self.X.shape[0])
+        if wanted != self.n_landmarks:
+            raise ValidationError(
+                f"estimator wants {wanted} landmarks but this plan selected "
+                f"{self.n_landmarks}"
+            )
+        for name, mine in (
+            ("landmark_strategy", self.strategy),
+            ("landmark_seed", self.seed),
+        ):
+            value = getattr(estimator, name)
+            if value != mine:
+                raise ValidationError(
+                    f"estimator is incompatible with this landmark plan: "
+                    f"{name}={value!r} differs from the plan's {mine!r}"
+                )
+
+
+def plan_for_estimator(estimator, X, w_fair, *, w_x=None):
+    """The fit plan an estimator's configuration calls for.
+
+    ``extension="nystrom"`` estimators get a :class:`LandmarkPlan`;
+    everything else the exact :class:`~repro.core.SpectralFitPlan`. This is
+    the single dispatch point used by ``PFR.fit``/``KernelPFR.fit``,
+    :func:`repro.core.fit_path` and the experiment harness's plan caches.
+    """
+    if getattr(estimator, "extension", "exact") == "nystrom":
+        return LandmarkPlan.for_estimator(estimator, X, w_fair, w_x=w_x)
+    return SpectralFitPlan.for_estimator(estimator, X, w_fair, w_x=w_x)

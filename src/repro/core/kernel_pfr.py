@@ -22,7 +22,7 @@ from .._validation import check_array, check_is_fitted
 from ..exceptions import ValidationError
 from ..graphs.knn import median_heuristic, pairwise_sq_distances
 from ..ml.base import BaseEstimator, TransformerMixin
-from .plan import SpectralFitPlan
+from .approx import check_extension_params, plan_for_estimator
 
 __all__ = ["KernelPFR", "kernel_matrix"]
 
@@ -66,22 +66,32 @@ def kernel_matrix(
 class KernelPFR(BaseEstimator, TransformerMixin):
     """Kernelized Pairwise Fair Representation learner (Equation 8).
 
-    Parameters mirror :class:`repro.core.PFR` plus the kernel configuration.
-    The training data is retained (needed to kernelize new points), so
-    memory is O(n·m) + O(n·d).
+    Parameters mirror :class:`repro.core.PFR` plus the kernel configuration
+    and the landmark-Nyström knobs (``extension``, ``landmarks``,
+    ``landmark_strategy``, ``landmark_seed`` — see
+    :class:`repro.core.LandmarkPlan`). The training data is retained
+    (needed to kernelize new points), so memory is O(n·m) + O(n·d) for the
+    exact solve and O(landmarks·m) + O(landmarks·d) for the nystrom one —
+    the kernel variant is where landmarks matter most, since the exact fit
+    also costs an O(n³) eigendecomposition.
 
     Attributes
     ----------
     alphas_ : ndarray of shape (n, d)
-        Dual coefficients ``A = [α_1 … α_d]``.
+        Dual coefficients ``A = [α_1 … α_d]`` (rows follow ``X_fit_``).
     eigenvalues_ : ndarray of shape (d,)
         Ascending eigenvalues of ``K L K``.
     X_fit_ : ndarray of shape (n, m)
-        Retained training data for out-of-sample kernel evaluation.
+        Retained training data for out-of-sample kernel evaluation — the
+        landmark rows only for nystrom fits, which is exactly the Nyström
+        out-of-sample map ``Z = K(X_new, X_landmarks) A``.
     plan_digests_ : dict
         SHA-256 digests of the fit plan's stages (graph, laplacian,
-        projection, solve) — the provenance trail the serving registry
-        records in its manifests.
+        projection, solve; plus ``landmarks`` for nystrom fits) — the
+        provenance trail the serving registry records in its manifests.
+    landmark_indices_ : ndarray or None
+        Sorted training-row indices the nystrom fit solved on; ``None``
+        for exact fits.
     """
 
     def __init__(
@@ -99,6 +109,10 @@ class KernelPFR(BaseEstimator, TransformerMixin):
         constraint: str = "z",
         eig_solver: str = "dense",
         ridge: float = 1e-8,
+        extension: str = "exact",
+        landmarks: int | None = None,
+        landmark_strategy: str = "kmeans++",
+        landmark_seed: int = 0,
     ):
         self.n_components = n_components
         self.gamma = gamma
@@ -113,6 +127,10 @@ class KernelPFR(BaseEstimator, TransformerMixin):
         self.constraint = constraint
         self.eig_solver = eig_solver
         self.ridge = ridge
+        self.extension = extension
+        self.landmarks = landmarks
+        self.landmark_strategy = landmark_strategy
+        self.landmark_seed = landmark_seed
 
     def _kernel(self, X, Y) -> np.ndarray:
         return kernel_matrix(
@@ -134,14 +152,19 @@ class KernelPFR(BaseEstimator, TransformerMixin):
         :func:`repro.core.fit_path`.
         """
         X = check_array(X, name="X", min_samples=2)
+        check_extension_params(self)
         n = X.shape[0]
+        if self.extension == "nystrom":
+            # The eigenproblem runs on the landmark rows only, so they are
+            # the capacity ceiling for the latent dimensionality.
+            n = min(n, int(self.landmarks))
         if not 1 <= self.n_components <= n:
             raise ValidationError(
                 f"n_components must be in [1, n={n}]; got {self.n_components}"
             )
         if not 0.0 <= self.gamma <= 1.0:
             raise ValidationError(f"gamma must be in [0, 1]; got {self.gamma}")
-        plan = SpectralFitPlan.for_estimator(self, X, w_fair, w_x=w_x)
+        plan = plan_for_estimator(self, X, w_fair, w_x=w_x)
         return plan.fit(self)
 
     def transform(self, X) -> np.ndarray:

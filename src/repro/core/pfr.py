@@ -23,7 +23,7 @@ import numpy as np
 from .._validation import check_array, check_is_fitted
 from ..exceptions import ValidationError
 from ..ml.base import BaseEstimator, TransformerMixin
-from .plan import SpectralFitPlan
+from .approx import check_extension_params, plan_for_estimator
 
 __all__ = ["PFR"]
 
@@ -79,6 +79,21 @@ class PFR(BaseEstimator, TransformerMixin):
         ``"auto"``, ``"dense"`` (LAPACK, the paper's choice) or ``"sparse"``
         (Lanczos) — forwarded to the trace-optimization layer (standard
         problem only; the generalized problem is always dense).
+    extension:
+        ``"exact"`` (default) solves the paper's eigenproblem over all n
+        training rows. ``"nystrom"`` solves it on ``landmarks`` selected
+        rows only (:class:`repro.core.LandmarkPlan`) — the scaling path
+        for n far beyond the paper's datasets; the learned map transforms
+        arbitrary unseen rows either way.
+    landmarks:
+        Number of landmark rows ``m ≪ n`` for ``extension="nystrom"``
+        (clamped to n, so ``landmarks >= n`` reproduces the exact solve).
+    landmark_strategy:
+        ``"uniform"``, ``"kmeans++"`` (default) or ``"farthest"`` — see
+        :func:`repro.core.select_landmarks`.
+    landmark_seed:
+        Seed for the landmark selection (fits stay pure functions of the
+        constructor arguments and the data).
 
     Attributes
     ----------
@@ -91,8 +106,11 @@ class PFR(BaseEstimator, TransformerMixin):
         Number of input features ``m`` seen during fit.
     plan_digests_ : dict
         SHA-256 digests of the fit plan's stages (graph, laplacian,
-        projection, solve) — the provenance trail the serving registry
-        records in its manifests.
+        projection, solve; plus ``landmarks`` for nystrom fits) — the
+        provenance trail the serving registry records in its manifests.
+    landmark_indices_ : ndarray or None
+        Sorted training-row indices the nystrom fit solved on; ``None``
+        for exact fits.
 
     Examples
     --------
@@ -121,6 +139,10 @@ class PFR(BaseEstimator, TransformerMixin):
         constraint: str = "z",
         ridge: float = 1e-8,
         eig_solver: str = "auto",
+        extension: str = "exact",
+        landmarks: int | None = None,
+        landmark_strategy: str = "kmeans++",
+        landmark_seed: int = 0,
     ):
         self.n_components = n_components
         self.gamma = gamma
@@ -132,6 +154,10 @@ class PFR(BaseEstimator, TransformerMixin):
         self.constraint = constraint
         self.ridge = ridge
         self.eig_solver = eig_solver
+        self.extension = extension
+        self.landmarks = landmarks
+        self.landmark_strategy = landmark_strategy
+        self.landmark_seed = landmark_seed
 
     def _validate_hyper_parameters(self, n_features: int) -> None:
         if not 1 <= self.n_components <= n_features:
@@ -151,6 +177,7 @@ class PFR(BaseEstimator, TransformerMixin):
             )
         if self.ridge < 0:
             raise ValidationError(f"ridge must be non-negative; got {self.ridge}")
+        check_extension_params(self)
 
     def fit(self, X, w_fair, *, w_x=None):
         """Learn the fair basis ``V`` from data and a fairness graph.
@@ -177,7 +204,7 @@ class PFR(BaseEstimator, TransformerMixin):
         """
         X = check_array(X, name="X", min_samples=2)
         self._validate_hyper_parameters(X.shape[1])
-        plan = SpectralFitPlan.for_estimator(self, X, w_fair, w_x=w_x)
+        plan = plan_for_estimator(self, X, w_fair, w_x=w_x)
         return plan.fit(self)
 
     def transform(self, X) -> np.ndarray:

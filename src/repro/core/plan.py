@@ -205,6 +205,9 @@ class SpectralFitPlan:
         self.coef0 = coef0
 
         self._w_x_input = w_x
+        # Set by LandmarkPlan on its internal subplan: an exact plan must
+        # not silently fit an estimator that asked for extension="nystrom".
+        self._landmark_driver = False
         self._graph: Precomputed | None = None
         self._laplacians: Precomputed | None = None
         self._projection: Precomputed | None = None
@@ -583,6 +586,9 @@ class SpectralFitPlan:
             estimator.eigenvalues_ = eigenvalues
             estimator.n_features_in_ = self.X.shape[1]
             estimator.plan_digests_ = self.stage_digests()
+            # Documented contract: None for exact fits (LandmarkPlan.fit
+            # overwrites this with the selected indices).
+            estimator.landmark_indices_ = None
             return estimator
 
         if not isinstance(estimator, KernelPFR):
@@ -615,6 +621,7 @@ class SpectralFitPlan:
         estimator.X_fit_ = self.X
         estimator.n_features_in_ = self.X.shape[1]
         estimator.plan_digests_ = self.stage_digests()
+        estimator.landmark_indices_ = None
         return estimator
 
     def _structural_params(self) -> dict:
@@ -646,6 +653,15 @@ class SpectralFitPlan:
         return params
 
     def _check_structural_match(self, estimator) -> None:
+        if (
+            getattr(estimator, "extension", "exact") == "nystrom"
+            and not self._landmark_driver
+        ):
+            raise ValidationError(
+                "estimator has extension='nystrom'; fit it through "
+                "repro.core.LandmarkPlan (or plan_for_estimator), not a "
+                "bare SpectralFitPlan"
+            )
         mine = self._structural_params()
         for name, expected in mine.items():
             if name == "normalized_laplacian" and self.kind == "kernel":
@@ -728,6 +744,7 @@ def fit_path(
         (γ₁,d₀), …]`` following the input order of both grids.
     """
     from ..ml.base import clone
+    from .approx import plan_for_estimator
     from .pfr import PFR
 
     template = PFR() if estimator is None else estimator
@@ -743,7 +760,9 @@ def fit_path(
     if min(dims) < 1:
         raise ValidationError(f"dims must be >= 1; got {sorted(dims)[0]}")
 
-    plan = SpectralFitPlan.for_estimator(template, X, w_fair, w_x=w_x)
+    # Landmark templates (extension="nystrom") sweep on a LandmarkPlan so
+    # even 100k-row fits pay the selection + landmark precomputation once.
+    plan = plan_for_estimator(template, X, w_fair, w_x=w_x)
     d_max = max(dims)
     fitted = []
     for gamma in gammas:

@@ -123,12 +123,27 @@ def smallest_eigenvectors(
         if d >= k - 1:
             # Lanczos cannot return nearly-all eigenpairs; fall back to dense.
             return smallest_eigenvectors(M, d, solver="dense")
-        matrix = M.tocsc() if sp.issparse(M) else sp.csc_matrix(M)
+        if sp.issparse(M):
+            matrix = M.tocsr()
+            shift = float(abs(matrix).sum()) / k + 1.0
+        else:
+            matrix = np.asarray(M, dtype=np.float64)
+            shift = float(np.abs(matrix).sum()) / k + 1.0
         # Shift the PSD spectrum so smallest-magnitude = smallest-algebraic
-        # and the operator is well-conditioned for Lanczos.
-        shift = abs(matrix).sum(axis=None) / matrix.shape[0] + 1.0
-        shifted = matrix + shift * sp.identity(k, format="csc")
-        eigenvalues, eigenvectors = spla.eigsh(shifted, k=d, which="SA")
+        # and the operator is well-conditioned for Lanczos. The shift is
+        # applied implicitly through a LinearOperator: materializing
+        # ``matrix + shift·I`` would copy the whole operator (and, before
+        # this, coerced dense inputs through an extra sparse conversion) —
+        # at landmark/serving scale the matvec view keeps memory at the
+        # operator's own footprint.
+        operator = spla.LinearOperator(
+            (k, k),
+            matvec=lambda v: matrix @ v + shift * v,
+            matmat=lambda V: matrix @ V + shift * V,
+            rmatvec=lambda v: matrix.T @ v + shift * v,
+            dtype=np.float64,
+        )
+        eigenvalues, eigenvectors = spla.eigsh(operator, k=d, which="SA")
         eigenvalues = eigenvalues - shift
         order = np.argsort(eigenvalues)
         eigenvalues = eigenvalues[order]

@@ -6,7 +6,7 @@ from .base import Dataset
 from .compas import COMPAS_FEATURES, load_compas, simulate_compas
 from .crime import CRIME_FEATURES, load_crime, simulate_crime
 from .ratings import rating_equivalence_classes, simulate_star_ratings
-from .synthetic import ADMISSIONS_FEATURES, simulate_admissions
+from .synthetic import ADMISSIONS_FEATURES, simulate_admissions, simulate_blobs
 
 __all__ = [
     "Dataset",
@@ -20,4 +20,5 @@ __all__ = [
     "simulate_star_ratings",
     "ADMISSIONS_FEATURES",
     "simulate_admissions",
+    "simulate_blobs",
 ]

@@ -114,8 +114,11 @@ def build_fit_plan(
     train_indices=None,
     scores=None,
     w_x=None,
+    landmarks: int | None = None,
+    landmark_strategy: str = "kmeans++",
+    landmark_seed: int = 0,
 ):
-    """Sweep-ready :class:`~repro.core.SpectralFitPlan` for one workload.
+    """Sweep-ready fit plan for one workload.
 
     Builds the workload's fairness graph (:func:`build_fairness_graph`) and
     stages the whole PFR precomputation over ``dataset.X`` in one call, so
@@ -125,10 +128,16 @@ def build_fit_plan(
         plan = build_fit_plan(simulate_crime(498, 200, seed=0))
         evals, V = plan.solve(gamma=0.9, d=4)
 
+    Returns an exact :class:`~repro.core.SpectralFitPlan` by default and a
+    :class:`~repro.core.LandmarkPlan` when ``landmarks`` (or an estimator
+    with ``extension="nystrom"``) asks for the Nyström scaling path —
+    that's how γ-sweeps run on workloads far beyond the paper's n.
+
     Parameters
     ----------
     dataset:
-        One of the three workloads.
+        One of the workloads (including :func:`~repro.datasets.simulate_blobs`
+        for large-n exercises).
     estimator:
         Template :class:`~repro.core.PFR` / :class:`~repro.core.KernelPFR`
         supplying the structural hyper-parameters; defaults to a
@@ -138,8 +147,11 @@ def build_fit_plan(
         Forwarded to :func:`build_fairness_graph`.
     w_x:
         Optional precomputed data graph, bypassing the plan's k-NN stage.
+    landmarks, landmark_strategy, landmark_seed:
+        Landmark-Nyström knobs applied to the default template (ignored
+        when an explicit ``estimator`` is passed — configure it directly).
     """
-    from ..core import PFR, SpectralFitPlan
+    from ..core import PFR, plan_for_estimator
 
     w_fair = build_fairness_graph(
         dataset,
@@ -149,5 +161,15 @@ def build_fit_plan(
         scores=scores,
     )
     if estimator is None:
-        estimator = PFR(exclude_columns=list(dataset.protected_columns))
-    return SpectralFitPlan.for_estimator(estimator, dataset.X, w_fair, w_x=w_x)
+        approx = {}
+        if landmarks is not None:
+            approx = dict(
+                extension="nystrom",
+                landmarks=int(landmarks),
+                landmark_strategy=landmark_strategy,
+                landmark_seed=landmark_seed,
+            )
+        estimator = PFR(
+            exclude_columns=list(dataset.protected_columns), **approx
+        )
+    return plan_for_estimator(estimator, dataset.X, w_fair, w_x=w_x)

@@ -30,7 +30,7 @@ from ..baselines import (
     MaskedRepresentation,
     SideInformationAugmenter,
 )
-from ..core import PFR, SpectralFitPlan
+from ..core import PFR, plan_for_estimator
 from ..datasets.base import Dataset
 from ..exceptions import ValidationError
 from ..graphs import knn_graph
@@ -118,6 +118,15 @@ class ExperimentHarness:
     n_components:
         Latent dimensionality for the representation learners; ``None``
         uses ``max(2, m // 3)`` where ``m`` counts non-protected features.
+    landmarks:
+        When set, PFR-family methods fit with the landmark-Nyström
+        extension on this many landmarks
+        (:class:`repro.core.LandmarkPlan`) instead of the exact all-n
+        eigenproblem — the switch that lets γ-sweeps run on 100k+-row
+        workloads. ``None`` (default) keeps the paper's exact solve.
+    landmark_strategy:
+        Landmark selection strategy (``"uniform"``, ``"kmeans++"``,
+        ``"farthest"``); the harness ``seed`` seeds the selection.
     method_overrides:
         Optional per-method hyper-parameter overrides, e.g.
         ``{"lfr": {"a_z": 1.0}}`` — the stand-in for the per-dataset grid
@@ -134,6 +143,8 @@ class ExperimentHarness:
         rating_resolution: float = 1.0,
         n_neighbors: int = 10,
         n_components: int | None = None,
+        landmarks: int | None = None,
+        landmark_strategy: str = "kmeans++",
         method_overrides: dict | None = None,
     ):
         self.dataset = dataset
@@ -143,11 +154,14 @@ class ExperimentHarness:
         self.rating_resolution = rating_resolution
         self.n_neighbors = n_neighbors
         self.n_components = n_components
+        self.landmarks = landmarks
+        self.landmark_strategy = landmark_strategy
         self.method_overrides = method_overrides or {}
         self._prepared = False
-        # Staged-fit reuse (repro.core.plan): γ-sweeps and repeated
-        # run_method calls share one SpectralFitPlan per structural
-        # configuration, so only the γ-mix + eigensolve re-run per point.
+        # Staged-fit reuse (repro.core.plan / repro.core.approx): γ-sweeps
+        # and repeated run_method calls share one fit plan (Spectral- or
+        # LandmarkPlan) per structural configuration, so only the γ-mix +
+        # eigensolve re-run per point.
         self._plan_cache: dict = {}
         self._tune_plan_cache: dict = {}
 
@@ -251,7 +265,7 @@ class ExperimentHarness:
                 gamma=gamma,
                 n_neighbors=self.n_neighbors,
                 exclude_columns=self.protected,
-                **method_params,
+                **{**self._landmark_params(len(self.train_idx)), **method_params},
             )
             self._plan_fit(model, X_train, base, augment, method_params)
             return model.transform(X_train), model.transform(X_test)
@@ -261,9 +275,15 @@ class ExperimentHarness:
             from ..core import KernelPFR
 
             params = {"kernel": "rbf", "n_neighbors": self.n_neighbors}
+            params.update(self._landmark_params(len(self.train_idx)))
             params.update(method_params)
+            capacity = (
+                min(int(params["landmarks"]), X_train.shape[0])
+                if params.get("extension") == "nystrom"
+                else X_train.shape[0]
+            )
             model = KernelPFR(
-                n_components=min(self.n_components_, X_train.shape[0] - 1),
+                n_components=min(self.n_components_, capacity - 1),
                 gamma=gamma,
                 exclude_columns=self.protected,
                 **params,
@@ -290,20 +310,39 @@ class ExperimentHarness:
             "(+ optional '+') or hardt"
         )
 
-    def _plan_fit(self, model, X_train, base, augment, method_params) -> None:
-        """Fit a PFR-family model through a cached :class:`SpectralFitPlan`.
+    def _landmark_params(self, n_train: int) -> dict:
+        """Landmark-Nyström kwargs for PFR-family models (empty = exact)."""
+        if self.landmarks is None:
+            return {}
+        return {
+            "extension": "nystrom",
+            "landmarks": min(int(self.landmarks), n_train),
+            "landmark_strategy": self.landmark_strategy,
+            "landmark_seed": self.seed,
+        }
 
-        The plan (graphs, Laplacians, projected objective matrices) depends
+    def _plan_fit(self, model, X_train, base, augment, method_params) -> None:
+        """Fit a PFR-family model through a cached fit plan.
+
+        The plan (graphs, Laplacians, projected objective matrices — and,
+        for ``extension="nystrom"`` models, the landmark selection) depends
         only on the training matrix and the structural hyper-parameters, so
         γ-sweeps and repeated ``run_method`` calls on one harness reuse it;
-        only the γ-mix and the eigensolve run per call.
+        only the γ-mix and the eigensolve run per call. Exact models get a
+        :class:`~repro.core.SpectralFitPlan`, landmark models a
+        :class:`~repro.core.LandmarkPlan` (chosen by
+        :func:`~repro.core.plan_for_estimator`).
         """
-        key = (base, augment, repr(sorted(method_params.items())))
+        key = (
+            base,
+            augment,
+            repr(sorted(method_params.items())),
+            getattr(model, "extension", "exact"),
+            getattr(model, "landmarks", None),
+        )
         plan = self._plan_cache.get(key)
         if plan is None:
-            plan = SpectralFitPlan.for_estimator(
-                model, X_train, self.W_fair_train
-            )
+            plan = plan_for_estimator(model, X_train, self.W_fair_train)
             self._plan_cache[key] = plan
         plan.fit(model)
 
@@ -452,13 +491,18 @@ class ExperimentHarness:
                 gamma=gamma,
                 n_neighbors=min(self.n_neighbors, len(fit_rows) - 1),
                 exclude_columns=self.protected,
-                **params,
+                **{**self._landmark_params(len(fit_rows)), **params},
             )
-            key = (np.asarray(fit_rows).tobytes(), repr(sorted(params.items())))
+            key = (
+                np.asarray(fit_rows).tobytes(),
+                repr(sorted(params.items())),
+                model.extension,
+                model.landmarks,
+            )
             plan = self._tune_plan_cache.get(key)
             if plan is None:
                 W_fit = restrict_graph(self.W_fair_train, fit_rows)
-                plan = SpectralFitPlan.for_estimator(model, X_fit, W_fit)
+                plan = plan_for_estimator(model, X_fit, W_fit)
                 self._tune_plan_cache[key] = plan
             plan.fit(model)
             Z_fit, Z_val = model.transform(X_fit), model.transform(X_val)

@@ -19,7 +19,7 @@ from .fairness import (
     pairwise_judgment_graph,
     subsample_edges,
 )
-from .knn import knn_graph, median_heuristic, pairwise_sq_distances
+from .knn import knn_cross, knn_graph, median_heuristic, pairwise_sq_distances
 from .laplacian import (
     combine_laplacians,
     degree_vector,
@@ -39,6 +39,7 @@ __all__ = [
     "equivalence_class_graph",
     "pairwise_judgment_graph",
     "subsample_edges",
+    "knn_cross",
     "knn_graph",
     "median_heuristic",
     "pairwise_sq_distances",

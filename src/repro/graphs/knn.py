@@ -19,7 +19,7 @@ from scipy.spatial import cKDTree
 from .._validation import check_array
 from ..exceptions import GraphConstructionError
 
-__all__ = ["knn_graph", "pairwise_sq_distances", "median_heuristic"]
+__all__ = ["knn_graph", "knn_cross", "pairwise_sq_distances", "median_heuristic"]
 
 
 def pairwise_sq_distances(X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
@@ -54,6 +54,34 @@ def median_heuristic(X: np.ndarray, *, sample_size: int = 2000, seed: int = 0) -
         # All points coincide; any positive bandwidth yields the same graph.
         return 1.0
     return median
+
+
+def _distance_view(X: np.ndarray, exclude) -> np.ndarray:
+    """Columns entering the neighborhood distances (protected ones dropped)."""
+    if exclude is None:
+        return X
+    keep = np.setdiff1d(np.arange(X.shape[1]), np.asarray(exclude, dtype=int))
+    if keep.size == 0:
+        raise GraphConstructionError("exclude removes every feature column")
+    return X[:, keep]
+
+
+def _resolve_bandwidth(bandwidth: float | None, view: np.ndarray) -> float:
+    """Validate the heat-kernel bandwidth, defaulting to the median heuristic."""
+    if bandwidth is None:
+        bandwidth = median_heuristic(view)
+    if bandwidth <= 0:
+        raise GraphConstructionError(f"bandwidth must be positive; got {bandwidth}")
+    return bandwidth
+
+
+def _edge_weights(
+    sq_distances: np.ndarray, bandwidth: float, binary: bool
+) -> np.ndarray:
+    """Heat-kernel (or 0/1) weights for a batch of squared distances."""
+    if binary:
+        return np.ones_like(sq_distances)
+    return np.exp(-sq_distances / bandwidth)
 
 
 def knn_graph(
@@ -94,18 +122,8 @@ def knn_graph(
             f"n_neighbors must be in [1, n-1] = [1, {n - 1}]; got {n_neighbors}"
         )
 
-    if exclude is not None:
-        keep = np.setdiff1d(np.arange(X.shape[1]), np.asarray(exclude, dtype=int))
-        if keep.size == 0:
-            raise GraphConstructionError("exclude removes every feature column")
-        distance_view = X[:, keep]
-    else:
-        distance_view = X
-
-    if bandwidth is None:
-        bandwidth = median_heuristic(distance_view)
-    if bandwidth <= 0:
-        raise GraphConstructionError(f"bandwidth must be positive; got {bandwidth}")
+    distance_view = _distance_view(X, exclude)
+    bandwidth = _resolve_bandwidth(bandwidth, distance_view)
 
     tree = cKDTree(distance_view)
     # k+1 because the nearest neighbor of a point is itself.
@@ -113,11 +131,7 @@ def knn_graph(
     rows = np.repeat(np.arange(n), n_neighbors)
     cols = neighbors[:, 1:].ravel()
     sq_distances = distances[:, 1:].ravel() ** 2
-
-    if binary:
-        weights = np.ones_like(sq_distances)
-    else:
-        weights = np.exp(-sq_distances / bandwidth)
+    weights = _edge_weights(sq_distances, bandwidth, binary)
 
     W = sp.csr_matrix((weights, (rows, cols)), shape=(n, n))
     # Symmetrize with the OR rule: keep an edge if either endpoint lists the
@@ -126,3 +140,82 @@ def knn_graph(
     W.setdiag(0.0)
     W.eliminate_zeros()
     return W.tocsr()
+
+
+def knn_cross(
+    X_query,
+    X_ref,
+    *,
+    n_neighbors: int = 10,
+    bandwidth: float | None = None,
+    exclude: np.ndarray | list | None = None,
+    binary: bool = False,
+) -> sp.csr_matrix:
+    """Cross-set k-NN heat-kernel weights from query rows to reference rows.
+
+    The rectangular analogue of :func:`knn_graph`: row ``i`` of the result
+    holds heat-kernel weights ``exp(-||q_i - r_j||² / t)`` on the
+    ``n_neighbors`` reference rows nearest to query ``i`` and zeros
+    elsewhere. This is the landmark → query edge set the Nyström
+    out-of-sample extension uses (:mod:`repro.core.approx`): an unseen
+    individual is connected to its nearest landmarks exactly the way
+    training individuals connect to each other in ``WX``.
+
+    Unlike :func:`knn_graph` the result is *not* symmetrized (it is not
+    square) and there is no self-edge to drop — query and reference sets
+    are distinct; a query row that coincides with a reference row keeps its
+    weight-1 edge.
+
+    Parameters
+    ----------
+    X_query:
+        Query rows of shape ``(q, m)``.
+    X_ref:
+        Reference rows of shape ``(r, m)`` (the landmarks).
+    n_neighbors:
+        Neighbors per query row, ``1 <= n_neighbors <= r``.
+    bandwidth:
+        Heat-kernel scalar ``t``; ``None`` selects the median heuristic on
+        the reference rows so query-side batches cannot shift the scale.
+    exclude:
+        Column indices to drop before computing distances (the paper
+        excludes protected attributes from ``Np``).
+    binary:
+        Use 0/1 edge weights instead of the heat kernel.
+
+    Returns
+    -------
+    scipy.sparse.csr_matrix
+        ``(q, r)`` matrix with exactly ``n_neighbors`` non-negative entries
+        per row (fewer only when heat-kernel weights underflow to zero).
+    """
+    X_query = check_array(X_query, name="X_query")
+    X_ref = check_array(X_ref, name="X_ref")
+    if X_query.shape[1] != X_ref.shape[1]:
+        raise GraphConstructionError(
+            f"X_query has {X_query.shape[1]} features but X_ref has "
+            f"{X_ref.shape[1]}"
+        )
+    q, r = X_query.shape[0], X_ref.shape[0]
+    if not 1 <= n_neighbors <= r:
+        raise GraphConstructionError(
+            f"n_neighbors must be in [1, n_ref] = [1, {r}]; got {n_neighbors}"
+        )
+
+    query_view = _distance_view(X_query, exclude)
+    ref_view = _distance_view(X_ref, exclude)
+    bandwidth = _resolve_bandwidth(bandwidth, ref_view)
+
+    tree = cKDTree(ref_view)
+    distances, neighbors = tree.query(query_view, k=n_neighbors)
+    if n_neighbors == 1:  # cKDTree squeezes the k axis for k=1
+        distances = distances[:, None]
+        neighbors = neighbors[:, None]
+    rows = np.repeat(np.arange(q), n_neighbors)
+    cols = neighbors.ravel()
+    sq_distances = distances.ravel() ** 2
+    weights = _edge_weights(sq_distances, bandwidth, binary)
+
+    W = sp.csr_matrix((weights, (rows, cols)), shape=(q, r))
+    W.eliminate_zeros()
+    return W

@@ -95,10 +95,20 @@ def _unpack_plan_digests(model, arrays: dict) -> None:
 
 # model type name -> (class, fitted attributes persisted as arrays)
 _REGISTRY = {
-    "PFR": (PFR, ("components_", "eigenvalues_", "n_features_in_")),
+    "PFR": (
+        PFR,
+        ("components_", "eigenvalues_", "n_features_in_", "landmark_indices_"),
+    ),
     "KernelPFR": (
         KernelPFR,
-        ("alphas_", "eigenvalues_", "X_fit_", "n_features_in_", "_fitted_bandwidth"),
+        (
+            "alphas_",
+            "eigenvalues_",
+            "X_fit_",
+            "n_features_in_",
+            "_fitted_bandwidth",
+            "landmark_indices_",
+        ),
     ),
     "LogisticRegression": (
         LogisticRegression,
@@ -162,6 +172,12 @@ _UNPACK_HOOKS = {
 # are persisted as npz arrays rather than inlined into the JSON header,
 # keeping read_header() cheap regardless of training-set size.
 _ARRAY_PARAMS = {"SideInformationAugmenter": ("side_information",)}
+
+# Fitted attributes that may be absent from an archive because they were
+# introduced after it was written (same-major artifacts stay loadable; the
+# attribute just stays unset). Every other registered attribute is
+# required — a missing one means the file is malformed.
+_OPTIONAL_ATTRS = frozenset({"landmark_indices_"})
 
 
 def supported_model_types() -> list[str]:
@@ -262,6 +278,13 @@ def load_model(path):
             if none_key in archive:
                 setattr(model, name, None)
                 continue
+            if key not in archive:
+                if name in _OPTIONAL_ATTRS:
+                    continue
+                raise ValidationError(
+                    f"{path} is not a valid {type_name} artifact: missing "
+                    f"fitted attribute {name!r}"
+                )
             value = archive[key]
             setattr(model, name, _restore_scalar(value))
         unpack = _UNPACK_HOOKS.get(type_name)

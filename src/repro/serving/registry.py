@@ -67,11 +67,17 @@ class ModelRecord:
     excluded_columns: list = field(default_factory=list)
     params: dict = field(default_factory=dict)
     # Stage digests of the SpectralFitPlan that produced the model (PFR
-    # family): graph/laplacian/projection/solve SHA-256 fingerprints, so
-    # the provenance of a servable artifact — graph parameters, rescale
-    # mode, solver configuration, training inputs — is auditable without
-    # loading it. Empty for estimators fitted outside the plan pipeline.
+    # family): graph/laplacian/projection/solve SHA-256 fingerprints — for
+    # landmark-Nyström fits additionally a "landmarks" digest covering the
+    # selection — so the provenance of a servable artifact — graph
+    # parameters, rescale mode, solver configuration, training inputs — is
+    # auditable without loading it. Empty for estimators fitted outside
+    # the plan pipeline.
     stage_digests: dict = field(default_factory=dict)
+    # Landmark count of a nystrom-extension fit (None for exact fits):
+    # tells a serving tier the model transforms *arbitrary* unseen rows
+    # from an m-landmark solve without loading the artifact.
+    landmarks: int | None = None
     created_at: float = 0.0
     path: str = ""
     is_latest: bool = False
@@ -89,6 +95,7 @@ class ModelRecord:
             "excluded_columns": list(self.excluded_columns),
             "params": self.params,
             "stage_digests": dict(self.stage_digests),
+            "landmarks": self.landmarks,
             "created_at": self.created_at,
             "file": Path(self.path).name,
         }
@@ -106,6 +113,14 @@ def _stage_digests(model) -> dict:
     if not isinstance(digests, dict):
         return {}
     return {str(stage): str(value) for stage, value in digests.items()}
+
+
+def _landmark_count(model) -> int | None:
+    """Landmark count of a nystrom-extension fit, ``None`` for exact fits."""
+    indices = getattr(model, "landmark_indices_", None)
+    if indices is None:
+        return None
+    return int(np.asarray(indices).shape[0])
 
 
 def _input_schema(model) -> tuple[int | None, list]:
@@ -204,6 +219,7 @@ class ModelRegistry:
                     excluded_columns=excluded,
                     params=_jsonable(model.get_params()),
                     stage_digests=_stage_digests(model),
+                    landmarks=_landmark_count(model),
                     created_at=time.time(),
                     path=str(artifact),
                     is_latest=promote,
@@ -361,6 +377,7 @@ class ModelRegistry:
             excluded_columns=list(entry.get("excluded_columns", [])),
             params=dict(entry.get("params", {})),
             stage_digests=dict(entry.get("stage_digests", {})),
+            landmarks=entry.get("landmarks"),
             created_at=float(entry.get("created_at", 0.0)),
             path=str(self.root / name / entry["file"]),
             is_latest=manifest["latest"] == version,

@@ -237,3 +237,79 @@ class TestTransformCommand:
             "--registry", registry_dir,
         ]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestLandmarkServingRoundTrip:
+    """Register → promote → `repro transform` a landmark-Nyström model on
+    rows *not* in the training set, asserting the full v2 manifest path
+    (stage digests incl. the ``landmarks`` one) survives save/load."""
+
+    @pytest.fixture
+    def landmark_artifact(self, rng, tmp_path):
+        from repro import KernelPFR
+        from repro.graphs import between_group_quantile_graph
+
+        X_train = rng.normal(size=(120, 5))
+        scores = X_train[:, 0] + rng.normal(scale=0.3, size=120)
+        groups = np.arange(120) % 2
+        w_fair = between_group_quantile_graph(scores, groups, n_quantiles=5)
+        model = KernelPFR(
+            n_components=3,
+            gamma=0.6,
+            extension="nystrom",
+            landmarks=40,
+            landmark_seed=1,
+        ).fit(X_train, w_fair)
+        path = save_model(model, tmp_path / "kpfr_landmark")
+        # Unseen users: fresh draws, deliberately disjoint from X_train.
+        unseen = tmp_path / "unseen.csv"
+        np.savetxt(unseen, rng.normal(size=(7, 5)), delimiter=",")
+        return {"model": model, "artifact": path, "unseen": unseen}
+
+    def test_round_trip_serves_unseen_rows(
+        self, landmark_artifact, registry_dir, tmp_path, capsys
+    ):
+        from repro.io import load_model
+        from repro.serving import ModelRegistry
+
+        # Canary-register, then promote — the rollback-capable path.
+        assert main([
+            "models", "register", "kpfr-lm",
+            str(landmark_artifact["artifact"]),
+            "--registry", registry_dir, "--no-promote",
+        ]) == 0
+        assert main([
+            "models", "promote", "kpfr-lm", "1", "--registry", registry_dir,
+        ]) == 0
+        capsys.readouterr()
+
+        assert main([
+            "models", "show", "kpfr-lm", "--registry", registry_dir,
+        ]) == 0
+        shown = capsys.readouterr().out
+        assert "landmarks:       40 (nystrom extension)" in shown
+        assert "landmarks    " in shown  # the stage-digest line
+        assert '"extension": "nystrom"' in shown
+
+        out_path = tmp_path / "z.csv"
+        assert main([
+            "transform", "kpfr-lm", "--input",
+            str(landmark_artifact["unseen"]),
+            "--output", str(out_path), "--registry", registry_dir,
+        ]) == 0
+        Z = np.loadtxt(out_path, delimiter=",")
+        X_unseen = np.loadtxt(landmark_artifact["unseen"], delimiter=",")
+        np.testing.assert_allclose(
+            Z, landmark_artifact["model"].transform(X_unseen), atol=1e-9
+        )
+
+        # Digest provenance survives io save/load and the registry record.
+        record = ModelRegistry(registry_dir).record("kpfr-lm", 1)
+        original = landmark_artifact["model"]
+        assert record.stage_digests == original.plan_digests_
+        assert record.landmarks == 40
+        reloaded = load_model(record.path)
+        assert reloaded.plan_digests_ == original.plan_digests_
+        np.testing.assert_array_equal(
+            reloaded.landmark_indices_, original.landmark_indices_
+        )

@@ -1,0 +1,331 @@
+"""Parity + property tests for the landmark-Nyström scaling layer.
+
+The contract under test (``repro.core.approx``):
+
+* **Exactness at m = n** — a landmark fit that selects every training row
+  must reproduce the exact :class:`~repro.core.SpectralFitPlan` solve to
+  1e-8, for every selection strategy and for both estimator families.
+* **Fidelity is monotone in m** — on a seeded blob dataset, the aligned
+  cosine similarity between the landmark and exact embeddings of held-out
+  rows improves as the landmark budget grows.
+* **Out-of-sample serving** — nystrom models transform arbitrary unseen
+  rows; provenance (``landmarks`` stage digest, ``landmark_indices_``)
+  survives persistence.
+"""
+
+import numpy as np
+import pytest
+
+from repro import PFR, KernelPFR
+from repro.core import (
+    LANDMARK_STRATEGIES,
+    LandmarkPlan,
+    SpectralFitPlan,
+    embedding_fidelity,
+    fit_path,
+    nystrom_extend,
+    plan_for_estimator,
+    select_landmarks,
+)
+from repro.datasets import simulate_blobs
+from repro.exceptions import ValidationError
+from repro.graphs import between_group_quantile_graph
+from repro.io import load_model, save_model
+
+PARITY_TOL = 1e-8
+
+
+@pytest.fixture(scope="module")
+def blob_problem():
+    """Seeded blob workload: data, fairness graph, and held-out eval rows."""
+    data = simulate_blobs(400, n_features=6, seed=5)
+    w_fair = between_group_quantile_graph(
+        data.side_information, data.s, n_quantiles=6
+    )
+    rng = np.random.default_rng(9)
+    X_eval = data.X[rng.choice(data.X.shape[0], 120, replace=False)]
+    return data.X, w_fair, X_eval
+
+
+class TestSelectLandmarks:
+    def test_sorted_unique_indices(self, rng):
+        X = rng.normal(size=(50, 4))
+        for strategy in LANDMARK_STRATEGIES:
+            indices = select_landmarks(X, 12, strategy=strategy, seed=3)
+            assert indices.shape == (12,)
+            assert (np.diff(indices) > 0).all()  # sorted and unique
+            assert indices.min() >= 0 and indices.max() < 50
+
+    def test_m_equals_n_selects_every_row(self, rng):
+        X = rng.normal(size=(30, 3))
+        for strategy in LANDMARK_STRATEGIES:
+            indices = select_landmarks(X, 30, strategy=strategy, seed=0)
+            np.testing.assert_array_equal(indices, np.arange(30))
+
+    def test_deterministic_in_seed(self, rng):
+        X = rng.normal(size=(60, 5))
+        for strategy in LANDMARK_STRATEGIES:
+            a = select_landmarks(X, 15, strategy=strategy, seed=7)
+            b = select_landmarks(X, 15, strategy=strategy, seed=7)
+            np.testing.assert_array_equal(a, b)
+
+    def test_duplicate_points_still_complete(self):
+        # Every row identical: D² mass hits zero and selection must fall
+        # back to uniform over the unchosen rows instead of looping.
+        X = np.ones((20, 3))
+        for strategy in ("kmeans++", "farthest"):
+            indices = select_landmarks(X, 8, strategy=strategy, seed=1)
+            assert len(np.unique(indices)) == 8
+
+    def test_exclude_columns_drive_selection(self, rng):
+        # With all signal in column 0 and column 0 excluded, farthest-point
+        # selection on the remaining constant columns degenerates — it must
+        # still return a valid index set.
+        X = np.column_stack([rng.normal(size=40) * 100, np.ones(40), np.ones(40)])
+        indices = select_landmarks(X, 10, strategy="farthest", seed=0, exclude=[0])
+        assert len(np.unique(indices)) == 10
+
+    def test_validation(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValidationError):
+            select_landmarks(X, 1)
+        with pytest.raises(ValidationError):
+            select_landmarks(X, 11)
+        with pytest.raises(ValidationError):
+            select_landmarks(X, 5, strategy="magic")
+
+
+class TestParityAtFullBudget:
+    """m = n landmark fits must equal the exact solve to 1e-8."""
+
+    @pytest.mark.parametrize("strategy", LANDMARK_STRATEGIES)
+    def test_pfr_m_equals_n(self, blob_problem, strategy):
+        X, w_fair, X_eval = blob_problem
+        exact = PFR(n_components=3, gamma=0.5).fit(X, w_fair)
+        landmark = PFR(
+            n_components=3,
+            gamma=0.5,
+            extension="nystrom",
+            landmarks=X.shape[0],
+            landmark_strategy=strategy,
+        ).fit(X, w_fair)
+        np.testing.assert_allclose(
+            landmark.components_, exact.components_, atol=PARITY_TOL
+        )
+        np.testing.assert_allclose(
+            landmark.eigenvalues_, exact.eigenvalues_, atol=PARITY_TOL
+        )
+        np.testing.assert_allclose(
+            landmark.transform(X_eval), exact.transform(X_eval), atol=PARITY_TOL
+        )
+
+    def test_kernel_pfr_m_equals_n(self, blob_problem):
+        X, w_fair, X_eval = blob_problem
+        exact = KernelPFR(n_components=3, gamma=0.5).fit(X, w_fair)
+        landmark = KernelPFR(
+            n_components=3,
+            gamma=0.5,
+            extension="nystrom",
+            landmarks=X.shape[0],
+        ).fit(X, w_fair)
+        np.testing.assert_allclose(
+            landmark.alphas_, exact.alphas_, atol=PARITY_TOL
+        )
+        np.testing.assert_allclose(
+            landmark.transform(X_eval), exact.transform(X_eval), atol=PARITY_TOL
+        )
+
+    def test_landmarks_above_n_clamp_to_exact(self, blob_problem):
+        X, w_fair, _ = blob_problem
+        exact = PFR(n_components=2, gamma=0.3).fit(X, w_fair)
+        clamped = PFR(
+            n_components=2, gamma=0.3, extension="nystrom", landmarks=10**6
+        ).fit(X, w_fair)
+        np.testing.assert_allclose(
+            clamped.components_, exact.components_, atol=PARITY_TOL
+        )
+
+    def test_full_budget_shares_stage_digests_with_exact(self, blob_problem):
+        # Same landmark rows ⇒ byte-identical graph inputs ⇒ the downstream
+        # digest chain must coincide with the exact plan's.
+        X, w_fair, _ = blob_problem
+        exact = PFR(n_components=2).fit(X, w_fair)
+        landmark = PFR(
+            n_components=2, extension="nystrom", landmarks=X.shape[0]
+        ).fit(X, w_fair)
+        assert "landmarks" in landmark.plan_digests_
+        for stage in ("graph", "laplacian", "projection", "solve"):
+            assert landmark.plan_digests_[stage] == exact.plan_digests_[stage]
+
+
+class TestFidelityMonotone:
+    """Aligned-cosine fidelity must improve with the landmark budget."""
+
+    BUDGETS = (10, 25, 60, 150, 400)
+
+    def _fidelity_curve(self, cls, blob_problem):
+        X, w_fair, X_eval = blob_problem
+        exact = cls(n_components=3, gamma=0.5).fit(X, w_fair)
+        Z_ref = exact.transform(X_eval)
+        curve = []
+        for m in self.BUDGETS:
+            model = cls(
+                n_components=3,
+                gamma=0.5,
+                extension="nystrom",
+                landmarks=m,
+                landmark_strategy="kmeans++",
+                landmark_seed=0,
+            ).fit(X, w_fair)
+            curve.append(embedding_fidelity(Z_ref, model.transform(X_eval)))
+        return curve
+
+    @pytest.mark.parametrize("cls", [PFR, KernelPFR], ids=lambda c: c.__name__)
+    def test_monotone_and_converges_to_one(self, cls, blob_problem):
+        curve = self._fidelity_curve(cls, blob_problem)
+        assert all(b > a for a, b in zip(curve, curve[1:])), curve
+        assert curve[-1] > 1.0 - PARITY_TOL  # m = n is the exact solve
+        assert curve[0] > 0.5  # even 10 landmarks beat noise
+
+
+class TestLandmarkPlan:
+    def test_sweep_reuses_subplan_solves(self, blob_problem):
+        X, w_fair, _ = blob_problem
+        template = PFR(n_components=3, extension="nystrom", landmarks=80)
+        plan = LandmarkPlan.for_estimator(template, X, w_fair)
+        swept = []
+        for gamma in (0.0, 0.5, 1.0):
+            model = PFR(
+                n_components=3, gamma=gamma, extension="nystrom", landmarks=80
+            )
+            plan.fit(model)
+            swept.append(model)
+        for model in swept:
+            fresh = PFR(
+                n_components=3,
+                gamma=model.gamma,
+                extension="nystrom",
+                landmarks=80,
+            ).fit(X, w_fair)
+            np.testing.assert_allclose(
+                model.components_, fresh.components_, atol=PARITY_TOL
+            )
+
+    def test_fit_path_with_landmark_template(self, blob_problem):
+        X, w_fair, _ = blob_problem
+        template = PFR(n_components=3, extension="nystrom", landmarks=60)
+        models = fit_path(X, w_fair, gammas=[0.0, 1.0], estimator=template)
+        assert len(models) == 2
+        for model in models:
+            assert model.landmark_indices_ is not None
+            assert model.landmark_indices_.shape == (60,)
+            assert "landmarks" in model.plan_digests_
+
+    def test_plan_for_estimator_dispatch(self, blob_problem):
+        X, w_fair, _ = blob_problem
+        exact_plan = plan_for_estimator(PFR(), X, w_fair)
+        assert isinstance(exact_plan, SpectralFitPlan)
+        landmark_plan = plan_for_estimator(
+            PFR(extension="nystrom", landmarks=50), X, w_fair
+        )
+        assert isinstance(landmark_plan, LandmarkPlan)
+
+    def test_exact_plan_rejects_nystrom_estimator(self, blob_problem):
+        X, w_fair, _ = blob_problem
+        plan = SpectralFitPlan.for_estimator(PFR(), X, w_fair)
+        with pytest.raises(ValidationError, match="LandmarkPlan"):
+            plan.fit(PFR(extension="nystrom", landmarks=50))
+
+    def test_landmark_plan_rejects_mismatched_estimator(self, blob_problem):
+        X, w_fair, _ = blob_problem
+        plan = LandmarkPlan.for_estimator(
+            PFR(extension="nystrom", landmarks=50), X, w_fair
+        )
+        with pytest.raises(ValidationError, match="landmarks"):
+            plan.fit(PFR(extension="nystrom", landmarks=40))
+        with pytest.raises(ValidationError, match="nystrom"):
+            plan.fit(PFR())
+
+    def test_extension_validation(self, blob_problem):
+        X, w_fair, _ = blob_problem
+        with pytest.raises(ValidationError, match="extension"):
+            PFR(extension="approximate").fit(X, w_fair)
+        with pytest.raises(ValidationError, match="landmarks"):
+            PFR(extension="nystrom").fit(X, w_fair)
+        with pytest.raises(ValidationError, match="strategy"):
+            PFR(
+                extension="nystrom", landmarks=20, landmark_strategy="magic"
+            ).fit(X, w_fair)
+
+    def test_kernel_components_capacity_is_landmark_count(self, blob_problem):
+        X, w_fair, _ = blob_problem
+        with pytest.raises(ValidationError, match="n_components"):
+            KernelPFR(
+                n_components=30, extension="nystrom", landmarks=20
+            ).fit(X, w_fair)
+
+    def test_extend_matches_landmark_embedding_shape(self, blob_problem):
+        X, w_fair, X_eval = blob_problem
+        plan = LandmarkPlan.for_estimator(
+            PFR(n_components=3, extension="nystrom", landmarks=80), X, w_fair
+        )
+        Z = plan.extend(X_eval, gamma=0.5, d=3)
+        assert Z.shape == (X_eval.shape[0], 3)
+        assert np.isfinite(Z).all()
+        with pytest.raises(ValidationError, match="gamma and d"):
+            plan.extend(X_eval)
+
+
+class TestNystromExtend:
+    def test_weighted_average_stays_in_convex_hull(self, rng):
+        X_landmarks = rng.normal(size=(30, 4))
+        Z_landmarks = rng.normal(size=(30, 2))
+        Z = nystrom_extend(
+            rng.normal(size=(12, 4)), X_landmarks, Z_landmarks, n_neighbors=5
+        )
+        assert Z.shape == (12, 2)
+        assert Z.min() >= Z_landmarks.min() - 1e-12
+        assert Z.max() <= Z_landmarks.max() + 1e-12
+
+    def test_far_query_falls_back_to_nearest_landmark(self, rng):
+        # A query so far away that every heat-kernel weight underflows must
+        # land on its single nearest landmark, not on a zero vector.
+        X_landmarks = rng.normal(size=(10, 3))
+        Z_landmarks = rng.normal(size=(10, 2))
+        far = np.full((1, 3), 1e6)
+        Z = nystrom_extend(far, X_landmarks, Z_landmarks, n_neighbors=4)
+        nearest = np.argmin(np.sum((X_landmarks - far) ** 2, axis=1))
+        np.testing.assert_allclose(Z[0], Z_landmarks[nearest])
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValidationError, match="Z_landmarks"):
+            nystrom_extend(
+                rng.normal(size=(5, 3)),
+                rng.normal(size=(10, 3)),
+                rng.normal(size=(9, 2)),
+            )
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("cls", [PFR, KernelPFR], ids=lambda c: c.__name__)
+    def test_landmark_model_round_trips(self, cls, blob_problem, tmp_path):
+        X, w_fair, X_eval = blob_problem
+        model = cls(
+            n_components=2, gamma=0.4, extension="nystrom", landmarks=60
+        ).fit(X, w_fair)
+        loaded = load_model(save_model(model, tmp_path / "landmark"))
+        assert loaded.extension == "nystrom"
+        assert loaded.landmarks == 60
+        np.testing.assert_array_equal(
+            loaded.landmark_indices_, model.landmark_indices_
+        )
+        assert loaded.plan_digests_ == model.plan_digests_
+        np.testing.assert_allclose(
+            loaded.transform(X_eval), model.transform(X_eval), atol=1e-12
+        )
+
+    def test_exact_model_keeps_none_landmarks(self, blob_problem, tmp_path):
+        X, w_fair, _ = blob_problem
+        model = PFR(n_components=2).fit(X, w_fair)
+        loaded = load_model(save_model(model, tmp_path / "exact"))
+        assert loaded.landmark_indices_ is None

@@ -12,6 +12,7 @@ from repro.datasets import (
     COMPAS_FEATURES,
     CRIME_FEATURES,
     simulate_admissions,
+    simulate_blobs,
     simulate_compas,
     simulate_crime,
 )
@@ -174,3 +175,47 @@ class TestCrime:
     def test_metadata_has_violence_score(self, small_crime):
         assert "violence_score" in small_crime.metadata
         assert len(small_crime.metadata["violence_score"]) == small_crime.n_samples
+
+
+class TestBlobs:
+    def test_schema(self):
+        data = simulate_blobs(200, n_features=5, seed=0)
+        assert data.name == "blobs"
+        assert data.X.shape == (200, 6)  # 5 features + protected indicator
+        assert data.feature_names[-1] == "group"
+        assert data.protected_columns == (5,)
+        np.testing.assert_array_equal(data.X[:, 5], data.s)
+
+    def test_side_information_present_everywhere(self):
+        data = simulate_blobs(150, seed=1)
+        assert data.side_information is not None
+        assert np.isfinite(data.side_information).all()
+
+    def test_base_rates_half_per_group(self):
+        data = simulate_blobs(2000, seed=2)
+        for value in (0, 1):
+            members = data.s == value
+            assert abs(data.y[members].mean() - 0.5) < 0.05
+
+    def test_deterministic_in_seed(self):
+        a = simulate_blobs(100, seed=7)
+        b = simulate_blobs(100, seed=7)
+        np.testing.assert_array_equal(a.X, b.X)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_scales_to_large_n(self):
+        data = simulate_blobs(100_000, n_features=10, seed=0)
+        assert data.X.shape == (100_000, 11)
+
+    def test_group_shift_moves_first_feature(self):
+        data = simulate_blobs(5000, group_shift=3.0, seed=3)
+        f0 = data.X[:, 0]
+        assert f0[data.s == 1].mean() > f0[data.s == 0].mean() + 1.0
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            simulate_blobs(2)
+        with pytest.raises(DatasetError):
+            simulate_blobs(100, n_features=1)
+        with pytest.raises(DatasetError):
+            simulate_blobs(100, n_clusters=0)

@@ -4,13 +4,20 @@ import doctest
 
 import pytest
 
+import repro.core.approx
 import repro.core.pfr
+import repro.datasets.synthetic
 import repro.exceptions
 
 
 @pytest.mark.parametrize(
     "module",
-    [repro.core.pfr, repro.exceptions],
+    [
+        repro.core.approx,
+        repro.core.pfr,
+        repro.datasets.synthetic,
+        repro.exceptions,
+    ],
     ids=lambda m: m.__name__,
 )
 def test_module_doctests(module):

@@ -161,3 +161,63 @@ class TestRankingScores:
         X_shifted[s == 1] += 100.0
         shifted = within_group_ranking_scores(X_shifted, y, s)
         np.testing.assert_allclose(base[s == 0], shifted[s == 0])
+
+
+class TestLandmarkHarness:
+    """The harness's landmark-Nyström switch (landmarks=...)."""
+
+    @pytest.fixture(scope="class")
+    def landmark_harness(self):
+        from repro.datasets import simulate_blobs
+
+        data = simulate_blobs(300, n_features=5, seed=4)
+        return ExperimentHarness(data, landmarks=60, seed=0)
+
+    def test_pfr_runs_with_landmarks(self, landmark_harness):
+        result = landmark_harness.run_method("pfr", gamma=0.5)
+        assert 0.0 <= result.auc <= 1.0
+        assert result.dataset == "blobs"
+
+    def test_kpfr_runs_with_landmarks(self, landmark_harness):
+        result = landmark_harness.run_method("kpfr", gamma=0.5)
+        assert 0.0 <= result.auc <= 1.0
+
+    def test_gamma_sweep_reuses_landmark_plan(self, landmark_harness):
+        results = landmark_harness.gamma_sweep([0.0, 1.0], method="pfr")
+        assert len(results) == 2
+        # One landmark plan per structural configuration in the cache.
+        landmark_keys = [
+            key
+            for key in landmark_harness._plan_cache
+            if key[0] == "pfr" and key[3] == "nystrom"
+        ]
+        assert len(landmark_keys) == 1
+
+    def test_landmarks_clamp_to_training_size(self):
+        from repro.datasets import simulate_blobs
+
+        data = simulate_blobs(80, n_features=4, seed=1)
+        harness = ExperimentHarness(data, landmarks=10_000, seed=0)
+        result = harness.run_method("pfr", gamma=0.5)
+        assert 0.0 <= result.auc <= 1.0
+
+    def test_tune_with_landmarks(self, landmark_harness):
+        out = landmark_harness.tune(
+            "pfr", {"gamma": [0.0, 1.0]}, n_splits=2
+        )
+        assert "gamma" in out["best_params"]
+
+
+class TestBuildFitPlanLandmarks:
+    def test_landmark_plan_dispatch(self):
+        from repro.core import LandmarkPlan, SpectralFitPlan
+        from repro.datasets import simulate_blobs
+        from repro.experiments.builders import build_fit_plan
+
+        data = simulate_blobs(200, n_features=4, seed=2)
+        exact = build_fit_plan(data)
+        assert isinstance(exact, SpectralFitPlan)
+        landmark = build_fit_plan(data, landmarks=50)
+        assert isinstance(landmark, LandmarkPlan)
+        eigenvalues, V = landmark.solve(0.5, 2)
+        assert eigenvalues.shape == (2,) and V.shape[1] == 2

@@ -1,0 +1,147 @@
+"""Hypothesis property suite for the graph layer's structural invariants.
+
+Complements ``test_properties_extra.py`` with the guarantees the
+landmark-Nyström scaling layer leans on: k-NN graphs (square and
+cross-set) stay well-formed for any data and any budget, Laplacians stay
+PSD with zero row-sums, and the γ-combination is exactly linear — the
+identity that makes :class:`repro.core.SpectralFitPlan`'s "mix once per γ"
+stage mathematically free.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    combine_laplacians,
+    knn_cross,
+    knn_graph,
+    laplacian,
+)
+
+
+def _data(seed: int, n: int, m: int = 3) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(n, m))
+
+
+class TestKnnGraphProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(5, 40), k=st.integers(1, 4))
+    def test_symmetric_nonnegative_zero_diagonal(self, seed, n, k):
+        W = knn_graph(_data(seed, n), n_neighbors=min(k, n - 1))
+        assert (abs(W - W.T) > 1e-12).nnz == 0
+        assert W.nnz == 0 or W.data.min() >= 0.0
+        assert np.abs(W.diagonal()).max() == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(5, 40), k=st.integers(1, 4))
+    def test_weights_bounded_by_one_and_degree_at_least_k(self, seed, n, k):
+        k = min(k, n - 1)
+        W = knn_graph(_data(seed, n), n_neighbors=k)
+        # Heat-kernel weights live in (0, 1]; OR-symmetrization can only
+        # add edges, so every row keeps at least its own k neighbors.
+        assert W.data.max() <= 1.0 + 1e-12
+        assert W.getnnz(axis=1).min() >= k
+
+
+class TestKnnCrossProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        q=st.integers(1, 25),
+        r=st.integers(2, 30),
+        k=st.integers(1, 5),
+    )
+    def test_row_budget_nonnegativity_and_shape(self, seed, q, r, k):
+        k = min(k, r)
+        W = knn_cross(_data(seed, q), _data(seed + 1, r), n_neighbors=k)
+        assert W.shape == (q, r)
+        # Cross-set graphs are not symmetrized: the row degree never
+        # exceeds the requested budget (underflowed weights may shrink it).
+        assert W.getnnz(axis=1).max() <= k
+        assert W.nnz == 0 or W.data.min() >= 0.0
+        assert W.nnz == 0 or W.data.max() <= 1.0 + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), r=st.integers(2, 30), k=st.integers(1, 5))
+    def test_reference_row_query_hits_itself_with_weight_one(self, seed, r, k):
+        X_ref = _data(seed, r)
+        W = knn_cross(X_ref[:1], X_ref, n_neighbors=min(k, r))
+        assert W[0, 0] == pytest.approx(1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), q=st.integers(1, 15), r=st.integers(2, 20))
+    def test_binary_weights_are_unit(self, seed, q, r):
+        W = knn_cross(
+            _data(seed, q), _data(seed + 1, r), n_neighbors=min(3, r), binary=True
+        )
+        assert np.array_equal(np.unique(W.data), [1.0])
+
+
+class TestLaplacianProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(5, 30), k=st.integers(1, 4))
+    def test_psd_zero_row_sum_symmetric(self, seed, n, k):
+        W = knn_graph(_data(seed, n), n_neighbors=min(k, n - 1))
+        L = laplacian(W)
+        dense = L.toarray()
+        np.testing.assert_allclose(dense, dense.T, atol=1e-12)
+        np.testing.assert_allclose(dense.sum(axis=1), 0.0, atol=1e-10)
+        eigenvalues = np.linalg.eigvalsh(dense)
+        assert eigenvalues.min() >= -1e-10
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(5, 25))
+    def test_normalized_laplacian_psd_with_spectrum_below_two(self, seed, n):
+        W = knn_graph(_data(seed, n), n_neighbors=min(3, n - 1))
+        L = laplacian(W, normalized=True)
+        eigenvalues = np.linalg.eigvalsh(L.toarray())
+        assert eigenvalues.min() >= -1e-10
+        assert eigenvalues.max() <= 2.0 + 1e-10
+
+
+class TestCombineLaplaciansProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(5, 25),
+        gamma=st.floats(0.0, 1.0),
+    )
+    def test_linear_in_gamma(self, seed, n, gamma):
+        k = min(3, n - 1)
+        L_x = laplacian(knn_graph(_data(seed, n), n_neighbors=k))
+        L_f = laplacian(knn_graph(_data(seed + 1, n), n_neighbors=k))
+        combined = combine_laplacians(L_x, L_f, gamma)
+        expected = (1.0 - gamma) * L_x.toarray() + gamma * L_f.toarray()
+        np.testing.assert_allclose(combined.toarray(), expected, atol=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(5, 25))
+    def test_endpoints_recover_the_inputs(self, seed, n):
+        k = min(3, n - 1)
+        L_x = laplacian(knn_graph(_data(seed, n), n_neighbors=k))
+        L_f = laplacian(knn_graph(_data(seed + 1, n), n_neighbors=k))
+        np.testing.assert_allclose(
+            combine_laplacians(L_x, L_f, 0.0).toarray(), L_x.toarray(), atol=1e-12
+        )
+        np.testing.assert_allclose(
+            combine_laplacians(L_x, L_f, 1.0).toarray(), L_f.toarray(), atol=1e-12
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(5, 20),
+        gamma=st.floats(0.0, 1.0),
+    )
+    def test_combination_preserves_laplacian_structure(self, seed, n, gamma):
+        # A convex combination of Laplacians is itself a Laplacian: PSD
+        # with zero row-sums — with or without the degree rescaling.
+        k = min(3, n - 1)
+        L_x = laplacian(knn_graph(_data(seed, n), n_neighbors=k))
+        L_f = laplacian(knn_graph(_data(seed + 1, n), n_neighbors=k))
+        for rescale in (False, True):
+            dense = combine_laplacians(L_x, L_f, gamma, rescale=rescale).toarray()
+            np.testing.assert_allclose(dense.sum(axis=1), 0.0, atol=1e-10)
+            assert np.linalg.eigvalsh(dense).min() >= -1e-10

@@ -330,3 +330,34 @@ class TestErrors:
         bad.write_bytes(good.read_bytes()[:40])  # keeps the PK magic
         with pytest.raises(ValidationError, match="not a repro model"):
             load_model(bad)
+
+    def test_missing_required_attribute_rejected(self, tmp_path, fitted_models):
+        # Rebuild a valid PFR artifact without its components_ array: the
+        # load must fail loudly instead of returning a half-fitted model
+        # that only breaks later at transform time. Optional attributes
+        # (landmark_indices_, introduced after format v2 shipped) may be
+        # absent — that is the backward-compatibility case.
+        good = save_model(fitted_models["pfr"], tmp_path / "good")
+        with np.load(good) as archive:
+            arrays = {
+                key: archive[key]
+                for key in archive.files
+                if key not in ("attr__components_", "header")
+            }
+            header = archive["header"]
+        bad = tmp_path / "gutted.npz"
+        np.savez(bad, header=header, **arrays)
+        with pytest.raises(ValidationError, match="missing fitted attribute"):
+            load_model(bad)
+
+        no_landmarks = tmp_path / "pre_landmark.npz"
+        with np.load(good) as archive:
+            arrays = {
+                key: archive[key]
+                for key in archive.files
+                if "landmark_indices_" not in key and key != "header"
+            }
+            header = archive["header"]
+        np.savez(no_landmarks, header=header, **arrays)
+        loaded = load_model(no_landmarks)
+        assert getattr(loaded, "landmark_indices_", None) is None
