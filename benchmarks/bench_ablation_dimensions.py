@@ -6,13 +6,14 @@ starves the classifier. This ablation traces the whole curve.
 """
 
 from repro.experiments import ExperimentHarness, render_table
-from repro.experiments.figures import FigureResult, _make_dataset
+from repro.experiments import make_workload
+from repro.experiments.figures import FigureResult
 
 from conftest import bench_scale, save_render
 
 
 def _run():
-    data = _make_dataset("crime", seed=0, scale=bench_scale("crime"))
+    data = make_workload("crime", seed=0, scale=bench_scale("crime"))
     rows = []
     for d in (1, 2, 4, 8, 16, 25):
         harness = ExperimentHarness(data, seed=0, n_components=d)

@@ -8,13 +8,14 @@ so the repository carries evidence for its defaults, not just argument.
 """
 
 from repro.experiments import ExperimentHarness, render_table
-from repro.experiments.figures import FigureResult, _make_dataset
+from repro.experiments import make_workload
+from repro.experiments.figures import FigureResult
 
 from conftest import bench_scale, save_render
 
 
 def _run():
-    data = _make_dataset("crime", seed=0, scale=bench_scale("crime"))
+    data = make_workload("crime", seed=0, scale=bench_scale("crime"))
     rows = []
     for constraint in ("z", "v"):
         for rescale in ("objective", "none"):

@@ -9,7 +9,8 @@ to random.
 import numpy as np
 
 from repro.experiments import ExperimentHarness, render_table
-from repro.experiments.figures import FigureResult, _make_dataset
+from repro.experiments import make_workload
+from repro.experiments.figures import FigureResult
 from repro.graphs import equivalence_class_graph, likert_judgments
 from repro.metrics import restrict_graph
 
@@ -17,7 +18,7 @@ from conftest import bench_scale, save_render
 
 
 def _run():
-    data = _make_dataset("synthetic", seed=0, scale=bench_scale("synthetic"))
+    data = make_workload("synthetic", seed=0, scale=bench_scale("synthetic"))
     # Ground-truth suitability: distance above the group's own admission
     # threshold (the simulator's generative notion of deservingness).
     total = data.X[:, 0] + data.X[:, 1]

@@ -6,14 +6,14 @@ cross-group coupling; finer buckets approach exact rank matching.
 """
 
 from repro.experiments import ExperimentHarness, render_table
-from repro.experiments.figures import _make_dataset
+from repro.experiments import make_workload
 
 from conftest import bench_scale, save_render
 from repro.experiments.figures import FigureResult
 
 
 def _run():
-    data = _make_dataset("synthetic", seed=0, scale=bench_scale("synthetic"))
+    data = make_workload("synthetic", seed=0, scale=bench_scale("synthetic"))
     rows = []
     for q in (2, 4, 10, 25, 50):
         harness = ExperimentHarness(data, seed=0, n_quantiles=q, n_components=2)

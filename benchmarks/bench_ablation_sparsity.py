@@ -10,7 +10,8 @@ import numpy as np
 
 from repro.core import PFR
 from repro.experiments import ExperimentHarness, render_table
-from repro.experiments.figures import FigureResult, _make_dataset
+from repro.experiments import make_workload
+from repro.experiments.figures import FigureResult
 from repro.graphs import subsample_edges
 from repro.metrics import consistency, restrict_graph
 from repro.ml import LogisticRegression, StandardScaler, roc_auc_score
@@ -19,7 +20,7 @@ from conftest import bench_scale, save_render
 
 
 def _run():
-    data = _make_dataset("synthetic", seed=0, scale=bench_scale("synthetic"))
+    data = make_workload("synthetic", seed=0, scale=bench_scale("synthetic"))
     harness = ExperimentHarness(data, seed=0, n_components=2)
     harness.prepare()
 

@@ -7,6 +7,10 @@ Usage::
     python -m repro run all --scale 0.25
     python -m repro report crime [--scale 0.5]
 
+    python -m repro experiments sweep DATASET [--method pfr] [--workers 4]
+    python -m repro experiments tune DATASET [--methods original,pfr] [--workers auto]
+    python -m repro experiments repeat DATASET [--seeds 0,1,2] [--workers 4]
+
     python -m repro models register NAME artifact.npz [--registry DIR]
     python -m repro models list [--registry DIR]
     python -m repro models show NAME[@VERSION] [--registry DIR]
@@ -15,9 +19,13 @@ Usage::
 
 ``run`` executes the experiment's driver, prints the ASCII rendering, and
 optionally writes it to a file. ``list`` shows every experiment with the
-qualitative shapes the reproduction is expected to exhibit. The ``models``
-family manages the versioned model registry (:mod:`repro.serving`) and
-``transform`` pushes a CSV of feature rows through a registered model.
+qualitative shapes the reproduction is expected to exhibit. The
+``experiments`` family runs γ-sweeps, the grid-search tuning protocol, and
+cross-seed repetition directly, with ``--workers`` fanning the independent
+fits out across processes (results are bitwise identical to serial). The
+``models`` family manages the versioned model registry
+(:mod:`repro.serving`) and ``transform`` pushes a CSV of feature rows
+through a registered model.
 
 The registry directory defaults to the ``REPRO_REGISTRY`` environment
 variable, falling back to ``~/.repro/registry``.
@@ -109,6 +117,56 @@ def build_parser() -> argparse.ArgumentParser:
     promote.add_argument("name")
     promote.add_argument("version", type=int)
     promote.add_argument("--registry", default=None)
+
+    experiments = subparsers.add_parser(
+        "experiments",
+        help="sweeps, tuning and cross-seed repetition (parallelizable)",
+    )
+    exp_sub = experiments.add_subparsers(dest="experiments_command", required=True)
+
+    def _exp_common(sub):
+        sub.add_argument("dataset", choices=["synthetic", "crime", "compas"])
+        sub.add_argument("--scale", type=float, default=1.0,
+                         help="dataset-size fraction in (0, 1] (default 1.0)")
+        sub.add_argument("--seed", type=int, default=0, help="generator seed")
+        sub.add_argument(
+            "--workers", default=None,
+            help="process fan-out: a count or 'auto' (default: serial); "
+                 "results are bitwise identical to a serial run",
+        )
+        sub.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON instead of a table")
+
+    sweep = exp_sub.add_parser(
+        "sweep", help="γ-sweep one method on a workload"
+    )
+    _exp_common(sweep)
+    sweep.add_argument("--method", default="pfr",
+                       help="harness method name (default pfr)")
+    sweep.add_argument("--gammas", default="0.0,0.1,0.3,0.5,0.7,0.9,1.0",
+                       help="comma-separated γ values")
+
+    tune = exp_sub.add_parser(
+        "tune", help="5-fold grid search (the paper's tuning protocol)"
+    )
+    _exp_common(tune)
+    tune.add_argument("--methods", default="original,pfr",
+                      help="comma-separated methods to tune")
+    tune.add_argument("--splits", type=int, default=5,
+                      help="cross-validation folds (default 5)")
+
+    repeat = exp_sub.add_parser(
+        "repeat", help="cross-seed repetition with mean ± std error bars"
+    )
+    _exp_common(repeat)
+    repeat.add_argument("--methods", default="original,pfr",
+                        help="comma-separated methods to aggregate")
+    repeat.add_argument("--seeds", default="0,1,2",
+                        help="comma-separated seeds, or a count to derive "
+                             "that many via SeedSequence.spawn rooted at "
+                             "--seed")
+    repeat.add_argument("--gamma", type=float, default=0.5,
+                        help="γ forwarded to every method (default 0.5)")
 
     transform = subparsers.add_parser(
         "transform", help="transform a CSV of feature rows through a model"
@@ -213,6 +271,113 @@ def _cmd_models(args) -> int:
     return 0
 
 
+def _parse_workers(value):
+    """CLI ``--workers``: None stays serial, 'auto' or a count fan out."""
+    if value is None:
+        return None
+    if str(value).lower() == "auto":
+        return "auto"
+    return int(value)
+
+
+def _csv(text: str) -> list[str]:
+    return [part.strip() for part in str(text).split(",") if part.strip()]
+
+
+def _cmd_experiments(args) -> int:
+    from .experiments import repeat_methods, tune_methods, workload_harness
+    from .experiments.builders import WorkloadFactory
+    from .experiments.report import render_table
+
+    workers = _parse_workers(args.workers)
+
+    if args.experiments_command == "sweep":
+        harness = workload_harness(
+            args.dataset, seed=args.seed, scale=args.scale
+        )
+        gammas = [float(g) for g in _csv(args.gammas)]
+        results = harness.gamma_sweep(
+            gammas, method=args.method, workers=workers
+        )
+        rows = [r.summary() for r in results]
+        payload = [
+            {"gamma": gamma, **row} for gamma, row in zip(gammas, rows)
+        ]
+        if args.json:
+            print(json.dumps(payload, indent=2))
+            return 0
+        print(render_table(
+            ["gamma", "AUC", "Cons(WF)", "Cons(WX)", "parity", "FPR gap",
+             "FNR gap"],
+            [[entry["gamma"], entry["auc"], entry["consistency_wf"],
+              entry["consistency_wx"], entry["parity_gap"], entry["fpr_gap"],
+              entry["fnr_gap"]] for entry in payload],
+        ))
+        return 0
+
+    if args.experiments_command == "tune":
+        harness = workload_harness(
+            args.dataset, seed=args.seed, scale=args.scale
+        )
+        tuned = tune_methods(
+            harness,
+            methods=tuple(_csv(args.methods)),
+            n_splits=args.splits,
+            workers=workers,
+        )
+        if args.json:
+            print(json.dumps(tuned, indent=2, sort_keys=True))
+            return 0
+        print(render_table(
+            ["method", "best score", "best params"],
+            [[method, out["best_score"],
+              json.dumps(out["best_params"], sort_keys=True)]
+             for method, out in tuned.items()],
+        ))
+        return 0
+
+    # repeat
+    from .experiments import spawn_seeds
+
+    seed_parts = _csv(args.seeds)
+    if len(seed_parts) == 1:
+        # A lone count derives that many seeds, rooted at --seed so the
+        # flag steers repeat exactly like it steers sweep and tune.
+        count = int(seed_parts[0])
+        seeds = spawn_seeds(args.seed, count) if count > 0 else ()
+    else:
+        # Includes the empty case: repetition's validation owns the error.
+        seeds = tuple(int(part) for part in seed_parts)
+    aggregates = repeat_methods(
+        WorkloadFactory(args.dataset, scale=args.scale),
+        tuple(_csv(args.methods)),
+        seeds=seeds,
+        gamma=args.gamma,
+        workers=workers,
+    )
+    if args.json:
+        print(json.dumps(
+            {
+                method: {
+                    "n_runs": agg.n_runs,
+                    "mean": agg.mean,
+                    "std": agg.std,
+                }
+                for method, agg in aggregates.items()
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
+    print(render_table(
+        ["method", "runs", "AUC", "Cons(WF)", "Cons(WX)", "parity gap"],
+        [[method, agg.n_runs, agg.format("auc"), agg.format("consistency_wf"),
+          agg.format("consistency_wx"), agg.format("parity_gap")]
+         for method, agg in aggregates.items()],
+    ))
+    return 0
+
+
 def _cmd_transform(args) -> int:
     from .serving import TransformService
 
@@ -270,6 +435,18 @@ def main(argv=None) -> int:
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+
+    if args.command == "experiments":
+        try:
+            return _cmd_experiments(args)
+        except (ReproError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except BrokenPipeError:
+            # Downstream consumer (e.g. `| head`) closed the pipe; redirect
+            # stdout so the interpreter's shutdown flush doesn't raise too.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
 
     if args.command == "transform":
         try:

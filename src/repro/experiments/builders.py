@@ -14,6 +14,8 @@ shared, documented entry point:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 import scipy.sparse as sp
 
@@ -23,7 +25,70 @@ from ..exceptions import ValidationError
 from ..graphs import between_group_quantile_graph, equivalence_class_graph
 from ..ml import LogisticRegression, StandardScaler
 
-__all__ = ["build_fairness_graph", "build_fit_plan", "fairness_side_scores"]
+__all__ = [
+    "build_fairness_graph",
+    "build_fit_plan",
+    "fairness_side_scores",
+    "make_workload",
+    "WorkloadFactory",
+]
+
+# Paper (Table 1) sizes per workload: one count for the synthetic
+# admissions draw, (negative, positive)-style pair for the two-group
+# simulations.
+_WORKLOAD_SIZES = {
+    "synthetic": (300,),
+    "crime": (1423, 570),
+    "compas": (4218, 4585),
+}
+
+
+def _scaled(count: int, scale: float) -> int:
+    if not 0.0 < scale <= 1.0:
+        raise ValidationError(f"scale must be in (0, 1]; got {scale}")
+    return max(20, int(round(count * scale)))
+
+
+def make_workload(name: str, *, seed: int = 0, scale: float = 1.0) -> Dataset:
+    """Instantiate one of the paper's three workloads at a size fraction.
+
+    ``name`` is ``"synthetic"``, ``"crime"`` or ``"compas"``; ``scale``
+    shrinks the Table 1 sizes for quick runs (floor 20 rows per count).
+    The figure drivers, the workload reports, and the CLI's
+    ``experiments`` commands all build their datasets here.
+    """
+    from ..datasets import simulate_admissions, simulate_compas, simulate_crime
+
+    if name not in _WORKLOAD_SIZES:
+        raise ValidationError(f"unknown dataset {name!r}")
+    sizes = tuple(_scaled(count, scale) for count in _WORKLOAD_SIZES[name])
+    if name == "synthetic":
+        return simulate_admissions(*sizes, seed=seed)
+    if name == "crime":
+        return simulate_crime(*sizes, seed=seed)
+    return simulate_compas(*sizes, seed=seed)
+
+
+@dataclass(frozen=True)
+class WorkloadFactory:
+    """Picklable ``f(seed) -> Dataset`` for a named workload.
+
+    The ``repeat_*`` functions take a per-seed dataset factory; a lambda
+    works, but this frozen dataclass is a declarative, picklable
+    equivalent that survives process boundaries and round-trips through
+    configuration — the CLI's ``experiments repeat`` builds one from its
+    arguments.
+    """
+
+    name: str
+    scale: float = 1.0
+
+    def __post_init__(self):
+        if self.name not in _WORKLOAD_SIZES:
+            raise ValidationError(f"unknown dataset {self.name!r}")
+
+    def __call__(self, seed: int) -> Dataset:
+        return make_workload(self.name, seed=seed, scale=self.scale)
 
 
 def fairness_side_scores(dataset: Dataset, *, train_indices=None) -> np.ndarray:

@@ -43,8 +43,29 @@ from ..ml import (
     train_test_split,
 )
 from ..ml.model_selection import ParameterGrid, StratifiedKFold
+from .parallel import get_executor
 
 __all__ = ["MethodResult", "ExperimentHarness", "within_group_ranking_scores"]
+
+
+# -- executor task functions (module-level so process backends can pickle
+#    them by reference; each is a pure function of (state, task)) ----------
+
+def _run_method_task(state, method):
+    harness, gamma, kwargs = state
+    return harness.run_method(method, gamma=gamma, **kwargs)
+
+
+def _gamma_sweep_task(state, gamma):
+    harness, method, kwargs = state
+    return harness.run_method(method, gamma=gamma, **kwargs)
+
+
+def _tune_grid_task(state, params):
+    harness, method, n_splits, scoring = state
+    return harness._score_grid_point(
+        method, params, n_splits=n_splits, scoring=scoring
+    )
 
 
 def within_group_ranking_scores(X, y, s, *, C: float = 1.0) -> np.ndarray:
@@ -164,6 +185,21 @@ class ExperimentHarness:
         # eigensolve re-run per point.
         self._plan_cache: dict = {}
         self._tune_plan_cache: dict = {}
+
+    def __getstate__(self):
+        """Pickle without the staged-fit plan caches.
+
+        The caches are pure derived state (rebuildable from the training
+        matrix + structural hyper-parameters) and can hold n×n kernel
+        matrices, so shipping them to worker processes would dominate the
+        fan-out cost. Each worker rebuilds its plans lazily — once per
+        (fold, structural-params) key — and then reuses them for every
+        task it handles, preserving the sweep amortization per process.
+        """
+        state = self.__dict__.copy()
+        state["_plan_cache"] = {}
+        state["_tune_plan_cache"] = {}
+        return state
 
     # -- data preparation --------------------------------------------------
 
@@ -407,26 +443,41 @@ class ExperimentHarness:
         result.extras["expected_error"] = post.expected_error_
         return result
 
-    def run_methods(self, methods, *, gamma: float = 0.5, **kwargs) -> dict:
-        """Run several methods; returns ``{name: MethodResult}``."""
-        return {
-            method: self.run_method(method, gamma=gamma, **kwargs)
-            for method in methods
-        }
+    def run_methods(
+        self, methods, *, gamma: float = 0.5, workers=None, **kwargs
+    ) -> dict:
+        """Run several methods; returns ``{name: MethodResult}``.
 
-    def gamma_sweep(self, gammas, *, method: str = "pfr", **kwargs) -> list:
-        """Evaluate a method across γ values (Figures 4, 7, 10).
-
-        For the PFR family every sweep point reuses the harness's cached
-        :class:`~repro.core.SpectralFitPlan` — graphs, Laplacians and
-        projected objective matrices are built once for the whole sweep,
-        and each γ costs one mix + eigensolve (plus the downstream
-        classifier).
+        ``workers`` fans the (independent) methods out across processes —
+        ``None`` runs serially, an int / ``"auto"`` / an
+        :class:`~repro.experiments.parallel.Executor` parallelizes.
+        Results are bitwise identical either way.
         """
         self.prepare()
-        return [
-            self.run_method(method, gamma=float(g), **kwargs) for g in gammas
-        ]
+        methods = list(methods)
+        results = get_executor(workers).map(
+            _run_method_task, methods, state=(self, gamma, kwargs)
+        )
+        return dict(zip(methods, results))
+
+    def gamma_sweep(
+        self, gammas, *, method: str = "pfr", workers=None, **kwargs
+    ) -> list:
+        """Evaluate a method across γ values (Figures 4, 7, 10).
+
+        For the PFR family every sweep point reuses a cached
+        :class:`~repro.core.SpectralFitPlan` — graphs, Laplacians and
+        projected objective matrices are built once, and each γ costs one
+        mix + eigensolve (plus the downstream classifier). With
+        ``workers`` set, γ points fan out across processes; each worker
+        rebuilds the plan once and sweeps its share of the points against
+        it, and the results are bitwise identical to a serial sweep.
+        """
+        self.prepare()
+        gammas = [float(g) for g in gammas]
+        return get_executor(workers).map(
+            _gamma_sweep_task, gammas, state=(self, method, kwargs)
+        )
 
     # -- hyper-parameter tuning (the paper's 5-fold grid search) -----------
 
@@ -437,32 +488,35 @@ class ExperimentHarness:
         *,
         n_splits: int = 5,
         scoring: str = "roc_auc",
+        workers=None,
     ) -> dict:
         """5-fold grid search over representation + classifier parameters.
 
         The grid may contain representation parameters (``gamma``, method
         keyword arguments) and the downstream classifier's ``C``. Returns
         ``{"best_params", "best_score", "results"}``.
+
+        ``workers`` fans the grid points out across processes; every
+        point's fold scores are a pure function of the harness data, the
+        point and the harness seed, so the search result is bitwise
+        identical to a serial search. Each worker keeps its own fold-plan
+        cache, so the γ axis of the grid stays nearly free per process.
         """
         self.prepare()
         # Fresh staged-fit cache per search: fold plans are keyed by (fold
         # rows, structural params), so the γ axis of the grid — usually its
         # largest — reuses each fold's graphs/Laplacians/projections.
         self._tune_plan_cache = {}
+        grid_points = [dict(params) for params in ParameterGrid(param_grid)]
+        mean_scores = get_executor(workers).map(
+            _tune_grid_task, grid_points, state=(self, method, n_splits, scoring)
+        )
         results = []
         best = {"best_params": None, "best_score": -np.inf}
-        for params in ParameterGrid(param_grid):
+        for params, mean_score in zip(grid_points, mean_scores):
             params = dict(params)
             C = params.pop("C", 1.0)
             gamma = params.pop("gamma", 0.5)
-            fold_scores = []
-            cv = StratifiedKFold(n_splits=n_splits, shuffle=True, seed=self.seed)
-            for fit_rows, val_rows in cv.split(self.X_train, self.y_train):
-                score = self._tune_fold(
-                    method, params, gamma, C, fit_rows, val_rows, scoring
-                )
-                fold_scores.append(score)
-            mean_score = float(np.mean(fold_scores))
             results.append({"params": {**params, "C": C, "gamma": gamma},
                             "mean_score": mean_score})
             if mean_score > best["best_score"]:
@@ -472,6 +526,23 @@ class ExperimentHarness:
                 }
         best["results"] = results
         return best
+
+    def _score_grid_point(
+        self, method: str, params: dict, *, n_splits: int, scoring: str
+    ) -> float:
+        """Mean cross-validation score of one grid point (all folds)."""
+        params = dict(params)
+        C = params.pop("C", 1.0)
+        gamma = params.pop("gamma", 0.5)
+        fold_scores = []
+        cv = StratifiedKFold(n_splits=n_splits, shuffle=True, seed=self.seed)
+        for fit_rows, val_rows in cv.split(self.X_train, self.y_train):
+            fold_scores.append(
+                self._tune_fold(
+                    method, params, gamma, C, fit_rows, val_rows, scoring
+                )
+            )
+        return float(np.mean(fold_scores))
 
     def _tune_fold(self, method, params, gamma, C, fit_rows, val_rows, scoring):
         """Score one CV fold: representation and classifier trained on the

@@ -4,6 +4,14 @@ Single-seed results can flatter or slander a method; this module re-runs a
 method (or a whole method set) across seeds — fresh data draw *and* fresh
 split per seed — and aggregates every scalar metric into mean ± std, the
 form reviewers expect.
+
+Seeds are the natural parallel axis: every seed's pipeline (data draw,
+split, graphs, fits, evaluation) is independent of every other's. All
+``repeat_*`` functions accept ``workers`` and fan seeds out across
+processes through :class:`~repro.experiments.parallel.Executor`; each
+worker runs whole seeds, so the per-seed staged-fit reuse (one
+:class:`~repro.core.SpectralFitPlan` per γ-sweep) is preserved, and the
+aggregates are bitwise identical to a serial run.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ import numpy as np
 
 from ..exceptions import ValidationError
 from .harness import ExperimentHarness
+from .parallel import get_executor, spawn_seeds
 
 __all__ = [
     "AggregateResult",
@@ -52,9 +61,22 @@ class AggregateResult:
 
 
 def _collect(results) -> AggregateResult:
+    results = list(results)
+    if not results:
+        raise ValidationError("cannot aggregate an empty result list")
     rows = [r.summary() for r in results]
     mean = {m: float(np.mean([row[m] for row in rows])) for m in _METRICS}
-    std = {m: float(np.std([row[m] for row in rows])) for m in _METRICS}
+    # Sample std (ddof=1): the error bars describe seed-to-seed
+    # variability estimated from the seeds actually run, the convention of
+    # the mean ± std tables in the paper's lineage (population std
+    # understates the bars by ~22% at the default 3 seeds). A single run
+    # has no spread to estimate — report 0.0, not NaN.
+    if len(rows) > 1:
+        std = {
+            m: float(np.std([row[m] for row in rows], ddof=1)) for m in _METRICS
+        }
+    else:
+        std = {m: 0.0 for m in _METRICS}
     return AggregateResult(
         method=results[0].method,
         dataset=results[0].dataset,
@@ -64,6 +86,67 @@ def _collect(results) -> AggregateResult:
     )
 
 
+def _normalize_seeds(seeds) -> tuple[int, ...]:
+    """Validate and materialize the ``seeds`` argument.
+
+    Accepts an explicit sequence of seeds, or an int ``n`` which derives
+    ``n`` independent seeds deterministically via
+    :func:`~repro.experiments.parallel.spawn_seeds` (root 0). Rejects
+    empty sequences up front — downstream aggregation would otherwise die
+    with an inscrutable ``IndexError``.
+    """
+    if isinstance(seeds, (int, np.integer)):
+        count = int(seeds)
+        if count < 2:
+            raise ValidationError(
+                f"repetition needs at least two seeds; got seeds={count}"
+            )
+        return spawn_seeds(0, count)
+    seeds = tuple(int(seed) for seed in seeds)
+    if len(seeds) < 2:
+        raise ValidationError(
+            "repetition needs at least two seeds; got "
+            + (f"{len(seeds)}" if seeds else "an empty seeds sequence")
+        )
+    return seeds
+
+
+# -- executor task functions (module-level for process-backend pickling) ---
+
+def _repeat_method_task(state, task):
+    method, gamma, harness_kwargs, method_params = state
+    seed, dataset = task
+    harness = ExperimentHarness(dataset, seed=seed, **harness_kwargs)
+    return harness.run_method(method, gamma=gamma, **method_params)
+
+
+def _repeat_methods_task(state, task):
+    methods, gamma, harness_kwargs = state
+    seed, dataset = task
+    harness = ExperimentHarness(dataset, seed=seed, **harness_kwargs)
+    return [
+        harness.run_method(method, gamma=gamma) for method in methods
+    ]
+
+
+def _repeat_sweep_task(state, task):
+    gammas, method, harness_kwargs, method_params = state
+    seed, dataset = task
+    harness = ExperimentHarness(dataset, seed=seed, **harness_kwargs)
+    return harness.gamma_sweep(gammas, method=method, **method_params)
+
+
+def _seed_tasks(dataset_factory, seeds) -> list:
+    """Materialize per-seed datasets in the parent, in seed order.
+
+    The factory is the one argument users routinely pass as a lambda, which
+    a process backend could not pickle; calling it up front keeps the
+    workers' inputs plain data (seed, Dataset) and keeps the draw order
+    identical to a serial run.
+    """
+    return [(seed, dataset_factory(seed)) for seed in seeds]
+
+
 def repeat_method(
     dataset_factory,
     method: str,
@@ -71,6 +154,7 @@ def repeat_method(
     seeds=(0, 1, 2),
     gamma: float = 0.5,
     harness_kwargs: dict | None = None,
+    workers=None,
     **method_params,
 ) -> AggregateResult:
     """Run one method across seeds and aggregate.
@@ -79,24 +163,26 @@ def repeat_method(
     ----------
     dataset_factory:
         ``f(seed) -> Dataset`` — a fresh data draw per seed (e.g.
-        ``lambda s: simulate_crime(498, 200, seed=s)``).
+        ``lambda s: simulate_crime(498, 200, seed=s)``). Called in the
+        parent process, so lambdas are fine even with process workers.
     method:
         Harness method name.
     seeds:
-        Seeds; each seeds both the dataset and the harness split.
+        Seeds; each seeds both the dataset and the harness split. An int
+        ``n`` derives ``n`` seeds via ``np.random.SeedSequence.spawn``.
     gamma, **method_params:
         Forwarded to :meth:`ExperimentHarness.run_method`.
     harness_kwargs:
         Extra :class:`ExperimentHarness` constructor arguments.
+    workers:
+        Fan seeds out across processes (``None`` = serial); results are
+        bitwise identical either way.
     """
-    if len(seeds) < 2:
-        raise ValidationError("repetition needs at least two seeds")
-    results = []
-    for seed in seeds:
-        harness = ExperimentHarness(
-            dataset_factory(seed), seed=seed, **(harness_kwargs or {})
-        )
-        results.append(harness.run_method(method, gamma=gamma, **method_params))
+    seeds = _normalize_seeds(seeds)
+    state = (method, gamma, dict(harness_kwargs or {}), method_params)
+    results = get_executor(workers).map(
+        _repeat_method_task, _seed_tasks(dataset_factory, seeds), state=state
+    )
     return _collect(results)
 
 
@@ -107,6 +193,7 @@ def repeat_gamma_sweep(
     method: str = "pfr",
     seeds=(0, 1, 2),
     harness_kwargs: dict | None = None,
+    workers=None,
     **method_params,
 ) -> dict:
     """Error-barred γ-sweep: Figures 4/7/10 with mean ± std per γ.
@@ -114,12 +201,13 @@ def repeat_gamma_sweep(
     One harness per seed runs the whole sweep, so the staged fit pipeline
     (:class:`~repro.core.SpectralFitPlan`) builds each seed's graphs,
     Laplacians and projected objective matrices once and reuses them across
-    every γ — the per-point cost is a mix + eigensolve, not a refit.
+    every γ — the per-point cost is a mix + eigensolve, not a refit. With
+    ``workers`` set, seeds fan out across processes and each worker keeps
+    that per-seed reuse intact.
 
     Returns ``{gamma: AggregateResult}`` in the input γ order.
     """
-    if len(seeds) < 2:
-        raise ValidationError("repetition needs at least two seeds")
+    seeds = _normalize_seeds(seeds)
     gammas = [float(g) for g in gammas]
     if not gammas:
         raise ValidationError("repeat_gamma_sweep needs at least one gamma")
@@ -127,15 +215,14 @@ def repeat_gamma_sweep(
         # per-γ aggregation keys on the value; duplicates would silently
         # merge and double-count n_runs.
         raise ValidationError(f"gammas contains duplicates: {gammas}")
-    per_gamma = {gamma: [] for gamma in gammas}
-    for seed in seeds:
-        harness = ExperimentHarness(
-            dataset_factory(seed), seed=seed, **(harness_kwargs or {})
-        )
-        sweep = harness.gamma_sweep(gammas, method=method, **method_params)
-        for gamma, result in zip(gammas, sweep):
-            per_gamma[gamma].append(result)
-    return {gamma: _collect(results) for gamma, results in per_gamma.items()}
+    state = (tuple(gammas), method, dict(harness_kwargs or {}), method_params)
+    sweeps = get_executor(workers).map(
+        _repeat_sweep_task, _seed_tasks(dataset_factory, seeds), state=state
+    )
+    return {
+        gamma: _collect([sweep[i] for sweep in sweeps])
+        for i, gamma in enumerate(gammas)
+    }
 
 
 def repeat_methods(
@@ -145,15 +232,16 @@ def repeat_methods(
     seeds=(0, 1, 2),
     gamma: float = 0.5,
     harness_kwargs: dict | None = None,
+    workers=None,
 ) -> dict:
     """Aggregate several methods on the same per-seed datasets and splits."""
-    if len(seeds) < 2:
-        raise ValidationError("repetition needs at least two seeds")
-    per_method = {method: [] for method in methods}
-    for seed in seeds:
-        harness = ExperimentHarness(
-            dataset_factory(seed), seed=seed, **(harness_kwargs or {})
-        )
-        for method in methods:
-            per_method[method].append(harness.run_method(method, gamma=gamma))
-    return {method: _collect(results) for method, results in per_method.items()}
+    seeds = _normalize_seeds(seeds)
+    methods = tuple(methods)
+    state = (methods, gamma, dict(harness_kwargs or {}))
+    per_seed = get_executor(workers).map(
+        _repeat_methods_task, _seed_tasks(dataset_factory, seeds), state=state
+    )
+    return {
+        method: _collect([row[i] for row in per_seed])
+        for i, method in enumerate(methods)
+    }

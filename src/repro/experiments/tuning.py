@@ -63,6 +63,7 @@ def tune_methods(
     grids: dict | None = None,
     n_splits: int = 5,
     scoring: str = "roc_auc",
+    workers=None,
 ) -> dict:
     """Grid-search every method on the harness's training split.
 
@@ -77,6 +78,11 @@ def tune_methods(
         Optional ``{method: grid}`` overrides of :func:`default_grid`.
     n_splits, scoring:
         Cross-validation configuration (the paper: 5 folds).
+    workers:
+        Fan each method's γ×C grid points out across processes (``None``
+        = serial; an int, ``"auto"``, or an
+        :class:`~repro.experiments.parallel.Executor`). Tuned operating
+        points are bitwise identical either way.
 
     Returns
     -------
@@ -89,7 +95,7 @@ def tune_methods(
     for method in methods:
         grid = grids.get(method, default_grid(method))
         out[method] = harness.tune(
-            method, grid, n_splits=n_splits, scoring=scoring
+            method, grid, n_splits=n_splits, scoring=scoring, workers=workers
         )
     return out
 

@@ -282,7 +282,15 @@ class GridSearchCV(BaseEstimator):
                 {
                     "params": dict(params),
                     "mean_score": mean_score,
-                    "std_score": float(np.std(fold_scores)),
+                    # Sample std (ddof=1): the fold scores are a sample of
+                    # the score distribution, and population std would
+                    # understate the spread (n_splits >= 2 always holds,
+                    # but guard the degenerate case anyway).
+                    "std_score": (
+                        float(np.std(fold_scores, ddof=1))
+                        if len(fold_scores) > 1
+                        else 0.0
+                    ),
                 }
             )
             if mean_score > best_score:

@@ -50,8 +50,41 @@ def matrix_digests(X: np.ndarray) -> list[bytes]:
     return [hasher(row.tobytes(), digest_size=16).digest() for row in view]
 
 
+def _frozen_copy(value):
+    """Defensive, read-only copy of an array value (non-arrays pass through).
+
+    ``put`` must not keep an alias into caller-owned memory: a caller that
+    keeps mutating the array it inserted would silently corrupt the cache
+    for every later request. The stored copy is marked non-writeable so
+    the read-only contract survives round-trips.
+    """
+    if isinstance(value, np.ndarray):
+        value = np.array(value)
+        value.setflags(write=False)
+    return value
+
+
+def _readonly_view(value):
+    """Read-only view of a cached array value (non-arrays pass through).
+
+    ``get`` must not hand out the stored array itself: a caller mutating
+    its result would corrupt the entry for every later hit. A view of the
+    non-writeable stored copy cannot be flipped writeable (numpy refuses
+    when the base is read-only), so caller mutation raises ``ValueError``
+    instead of corrupting shared state — and no per-hit data copy is paid.
+    """
+    if isinstance(value, np.ndarray):
+        return value.view()
+    return value
+
+
 class LRUCache:
     """Thread-safe least-recently-used cache with hit/miss accounting.
+
+    Array values are stored as defensive read-only copies and served as
+    read-only views: neither the inserting caller (by mutating its source
+    array) nor a reading caller (by mutating a returned row) can alter a
+    cached entry — attempted writes to a returned row raise ``ValueError``.
 
     Parameters
     ----------
@@ -71,7 +104,11 @@ class LRUCache:
         self._misses = 0
 
     def get(self, key: bytes):
-        """Return the cached value or ``None``, updating recency and counters."""
+        """Return the cached value (read-only) or ``None``.
+
+        Updates recency and counters. Array values come back as read-only
+        views — mutating one raises instead of corrupting the cache.
+        """
         with self._lock:
             value = self._entries.get(key)
             if value is None:
@@ -79,12 +116,17 @@ class LRUCache:
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
-            return value
+            return _readonly_view(value)
 
     def put(self, key: bytes, value) -> None:
-        """Insert/refresh an entry, evicting the oldest beyond ``max_size``."""
+        """Insert/refresh an entry, evicting the oldest beyond ``max_size``.
+
+        Array values are copied defensively; later mutation of the
+        caller's array cannot alter the stored entry.
+        """
         if self.max_size == 0:
             return
+        value = _frozen_copy(value)
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
@@ -92,7 +134,10 @@ class LRUCache:
                 self._entries.popitem(last=False)
 
     def get_many(self, keys) -> list:
-        """Vector lookup: one lock acquisition for a whole batch of keys."""
+        """Vector lookup: one lock acquisition for a whole batch of keys.
+
+        Hits come back read-only, exactly like :meth:`get`.
+        """
         with self._lock:
             out = []
             for key in keys:
@@ -102,15 +147,22 @@ class LRUCache:
                 else:
                     self._entries.move_to_end(key)
                     self._hits += 1
+                    value = _readonly_view(value)
                 out.append(value)
             return out
 
     def put_many(self, pairs) -> None:
-        """Vector insert: one lock acquisition for a batch of (key, value)."""
+        """Vector insert: one lock acquisition for a batch of (key, value).
+
+        Array values are copied defensively, exactly like :meth:`put`.
+        """
         if self.max_size == 0:
             return
+        # Copy outside the lock: the copies are per-pair private work and
+        # the generator's cost should not extend the critical section.
+        frozen = [(key, _frozen_copy(value)) for key, value in pairs]
         with self._lock:
-            for key, value in pairs:
+            for key, value in frozen:
                 self._entries[key] = value
                 self._entries.move_to_end(key)
             while len(self._entries) > self.max_size:

@@ -105,6 +105,11 @@ class TransformService:
         Cache hits take a dedicated fast path (one digest, one lookup) —
         this is the per-request unit of the heavy-tailed online workload
         the cache exists for, so its overhead is kept minimal.
+
+        The returned row is **read-only** (hit or miss alike — mutability
+        must not depend on cache state); mutating it raises ``ValueError``
+        instead of corrupting the cached entry. Copy it if you need a
+        scratch buffer.
         """
         row = np.asarray(row, dtype=np.float64)
         if row.ndim != 1:
@@ -126,14 +131,20 @@ class TransformService:
         hit = served.cache.get(key)
         if hit is not None:
             self._account(served, 1, time.perf_counter() - start)
-            # Copy: the caller may mutate its result; the cached row must
-            # stay pristine.
-            return np.array(hit)
+            # The cache returns a read-only view; a caller that tries to
+            # mutate its result gets a ValueError instead of silently
+            # corrupting the entry for every later request.
+            return hit
         # Miss: compute here rather than falling back to transform(),
         # which would re-resolve the spec, re-hash the row, and record a
         # second miss for the same lookup.
         result = served.batcher.transform(row[None, :])[0]
-        served.cache.put(key, np.array(result))
+        served.cache.put(key, result)
+        # Freeze the miss result too: hits are read-only cache views, and
+        # a result whose mutability depends on cache state would turn
+        # caller mutation into an intermittent, cache-warmth-dependent
+        # crash instead of a deterministic one.
+        result.setflags(write=False)
         self._account(served, 1, time.perf_counter() - start)
         return result
 
@@ -285,12 +296,11 @@ class TransformService:
             return np.stack(cached)
 
         computed = served.batcher.transform(X[miss_rows])
-        # Store copies: cached rows must not alias `computed`, which is
-        # (a) returned to the caller below — a caller mutating its result
-        # would corrupt the cache — and (b) one big array that every row
-        # view would otherwise pin in memory long past eviction.
+        # The cache copies on put, so these row views never alias the
+        # `computed` array returned to the caller below, and no row pins
+        # the whole batch in memory past eviction.
         served.cache.put_many(
-            (digests[index], np.array(computed[slot]))
+            (digests[index], computed[slot])
             for slot, index in enumerate(miss_rows)
         )
         if len(miss_rows) == X.shape[0]:

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -59,3 +61,64 @@ class TestRun:
         assert main(["run", "figure42"]) == 2
         err = capsys.readouterr().err
         assert "unknown experiment" in err
+
+
+class TestExperiments:
+    def test_sweep_table_and_json_agree(self, capsys):
+        argv = ["experiments", "sweep", "synthetic", "--scale", "0.2",
+                "--gammas", "0.0,0.9"]
+        assert main(argv) == 0
+        table = capsys.readouterr().out
+        assert "gamma" in table and "0.900" in table
+
+        assert main(argv + ["--json", "--workers", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["gamma"] for entry in payload] == [0.0, 0.9]
+        # --workers must not change the numbers (determinism guarantee).
+        assert all(
+            f"{entry['auc']:.3f}" in table for entry in payload
+        )
+
+    def test_tune_reports_operating_points(self, capsys):
+        assert main(
+            ["experiments", "tune", "synthetic", "--scale", "0.2",
+             "--methods", "pfr", "--splits", "3", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"pfr"}
+        assert {"best_params", "best_score", "results"} <= set(payload["pfr"])
+
+    def test_repeat_reports_error_bars(self, capsys):
+        assert main(
+            ["experiments", "repeat", "synthetic", "--scale", "0.2",
+             "--methods", "original", "--seeds", "0,1", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "original" in out and "±" in out
+
+    def test_repeat_seed_count_form_roots_at_seed(self, capsys):
+        argv = ["experiments", "repeat", "synthetic", "--scale", "0.2",
+                "--methods", "original", "--seeds", "2", "--json"]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["original"]["n_runs"] == 2
+        # --seed is the spawn root for the derived seeds, so it must steer
+        # repeat just like it steers sweep and tune.
+        assert main(argv + ["--seed", "1"]) == 0
+        reseeded = json.loads(capsys.readouterr().out)
+        assert reseeded["original"]["n_runs"] == 2
+        assert reseeded["original"]["mean"] != payload["original"]["mean"]
+
+    def test_empty_seeds_is_a_clean_error(self, capsys):
+        assert main(
+            ["experiments", "repeat", "synthetic", "--scale", "0.2",
+             "--seeds", ","]
+        ) == 2
+        assert "two seeds" in capsys.readouterr().err
+
+    def test_invalid_workers_is_a_clean_error(self, capsys):
+        assert main(
+            ["experiments", "sweep", "synthetic", "--scale", "0.2",
+             "--gammas", "0.5", "--workers", "lots"]
+        ) == 2
+        assert "error" in capsys.readouterr().err

@@ -19,7 +19,7 @@ from repro.experiments import (
     get_experiment,
     table1,
 )
-from repro.experiments.figures import _scaled
+from repro.experiments.builders import _scaled
 
 
 class TestTable1:
@@ -78,10 +78,10 @@ class TestScaling:
             table1(scale=0.0)
 
     def test_unknown_dataset(self):
-        from repro.experiments.figures import _make_dataset
+        from repro.experiments import make_workload
 
         with pytest.raises(ValidationError, match="unknown dataset"):
-            _make_dataset("mnist", seed=0, scale=1.0)
+            make_workload("mnist", seed=0, scale=1.0)
 
 
 class TestRegistry:

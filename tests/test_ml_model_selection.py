@@ -188,6 +188,25 @@ class TestGridSearchCV:
         assert len(search.cv_results_) == 3
         assert all("mean_score" in r for r in search.cv_results_)
 
+    def test_std_score_is_sample_std(self, binary_problem):
+        X, y = binary_problem
+        cv = StratifiedKFold(3)
+        search = GridSearchCV(
+            estimator=LogisticRegression(),
+            param_grid={"C": [1.0]},
+            scoring="roc_auc",
+            cv=cv,
+        ).fit(X, y)
+        fold_scores = cross_val_score(
+            LogisticRegression(C=1.0), X, y, cv=cv, scoring="roc_auc"
+        )
+        record = search.cv_results_[0]
+        assert record["mean_score"] == float(np.mean(fold_scores))
+        # Error bars use sample std (ddof=1): fold scores are a sample of
+        # the score distribution, not the whole population.
+        assert record["std_score"] == float(np.std(fold_scores, ddof=1))
+        assert record["std_score"] != float(np.std(fold_scores))
+
     def test_requires_estimator_and_grid(self, binary_problem):
         X, y = binary_problem
         with pytest.raises(ValidationError):

@@ -9,7 +9,7 @@ draw.
 import pytest
 
 from repro.experiments import ExperimentHarness
-from repro.experiments.figures import _make_dataset
+from repro.experiments import make_workload
 
 SEEDS = (1, 2)
 
@@ -17,7 +17,7 @@ SEEDS = (1, 2)
 @pytest.mark.parametrize("seed", SEEDS)
 class TestSyntheticAcrossSeeds:
     def test_pfr_beats_original_on_wf_and_auc(self, seed):
-        data = _make_dataset("synthetic", seed=seed, scale=1.0)
+        data = make_workload("synthetic", seed=seed, scale=1.0)
         harness = ExperimentHarness(data, seed=seed, n_components=2)
         pfr = harness.run_method("pfr", gamma=0.9)
         original = harness.run_method("original")
@@ -25,7 +25,7 @@ class TestSyntheticAcrossSeeds:
         assert pfr.auc >= original.auc - 0.02
 
     def test_gamma_direction(self, seed):
-        data = _make_dataset("synthetic", seed=seed, scale=1.0)
+        data = make_workload("synthetic", seed=seed, scale=1.0)
         harness = ExperimentHarness(data, seed=seed, n_components=2)
         low = harness.run_method("pfr", gamma=0.0)
         high = harness.run_method("pfr", gamma=0.9)
@@ -36,7 +36,7 @@ class TestSyntheticAcrossSeeds:
 @pytest.mark.parametrize("seed", SEEDS)
 class TestCrimeAcrossSeeds:
     def test_pfr_improves_group_fairness(self, seed):
-        data = _make_dataset("crime", seed=seed, scale=0.35)
+        data = make_workload("crime", seed=seed, scale=0.35)
         harness = ExperimentHarness(data, seed=seed, n_components=2)
         pfr = harness.run_method("pfr", gamma=1.0)
         original = harness.run_method("original+")
@@ -47,7 +47,7 @@ class TestCrimeAcrossSeeds:
         assert pfr.rates.gap("fnr") < original.rates.gap("fnr")
 
     def test_gamma_trades_utility_for_fairness(self, seed):
-        data = _make_dataset("crime", seed=seed, scale=0.35)
+        data = make_workload("crime", seed=seed, scale=0.35)
         harness = ExperimentHarness(data, seed=seed, n_components=2)
         low = harness.run_method("pfr", gamma=0.0)
         high = harness.run_method("pfr", gamma=1.0)
@@ -60,7 +60,7 @@ class TestCrimeAcrossSeeds:
 @pytest.mark.parametrize("seed", SEEDS)
 class TestCompasAcrossSeeds:
     def test_pfr_group_fairness_wins(self, seed):
-        data = _make_dataset("compas", seed=seed, scale=0.25)
+        data = make_workload("compas", seed=seed, scale=0.25)
         harness = ExperimentHarness(data, seed=seed, n_components=3)
         pfr = harness.run_method("pfr", gamma=1.0)
         original = harness.run_method("original+")
@@ -71,7 +71,7 @@ class TestCompasAcrossSeeds:
         )
 
     def test_consistency_directions(self, seed):
-        data = _make_dataset("compas", seed=seed, scale=0.25)
+        data = make_workload("compas", seed=seed, scale=0.25)
         harness = ExperimentHarness(data, seed=seed, n_components=3)
         low = harness.run_method("pfr", gamma=0.0)
         high = harness.run_method("pfr", gamma=1.0)

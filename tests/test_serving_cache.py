@@ -100,6 +100,12 @@ class TestLRUCache:
             "size": 1, "max_size": 8, "hits": 1, "misses": 0, "hit_rate": 1.0,
         }
 
+    def test_non_array_values_pass_through(self):
+        cache = LRUCache(max_size=4)
+        payload = {"tag": "anything"}
+        cache.put(b"k", payload)
+        assert cache.get(b"k") is payload
+
     def test_thread_safety_smoke(self):
         cache = LRUCache(max_size=64)
         errors = []
@@ -123,3 +129,58 @@ class TestLRUCache:
             thread.join()
         assert not errors
         assert len(cache) <= 64
+
+
+class TestAliasingRegression:
+    """``put``/``get`` must never alias caller memory.
+
+    Regression suite for the cache-corruption bug where ``put`` stored the
+    caller's array itself and ``get`` returned it: any caller that mutated
+    a returned row silently corrupted the entry for every later request
+    (``c.put(k, a); c.get(k)[0] = 99; c.get(k)[0] == 99``).
+    """
+
+    def test_mutating_returned_row_raises_and_cache_stays_clean(self):
+        cache = LRUCache(max_size=4)
+        cache.put(b"k", np.arange(4.0))
+        row = cache.get(b"k")
+        with pytest.raises(ValueError):
+            row[0] = 99.0
+        assert cache.get(b"k")[0] == 0.0
+
+    def test_returned_view_cannot_be_made_writeable(self):
+        cache = LRUCache(max_size=4)
+        cache.put(b"k", np.arange(3.0))
+        row = cache.get(b"k")
+        # The stored base is read-only, so numpy refuses to re-enable
+        # writes on the returned view — the contract is tamper-proof, not
+        # just accidental-mutation-proof.
+        with pytest.raises(ValueError):
+            row.setflags(write=True)
+
+    def test_put_stores_defensive_copy(self):
+        cache = LRUCache(max_size=4)
+        source = np.arange(4.0)
+        cache.put(b"k", source)
+        source[0] = 77.0  # caller keeps mutating its own array
+        assert cache.get(b"k")[0] == 0.0
+
+    def test_put_many_stores_defensive_copies(self):
+        cache = LRUCache(max_size=8)
+        rows = [np.full(3, float(i)) for i in range(3)]
+        cache.put_many((bytes([i]), row) for i, row in enumerate(rows))
+        for row in rows:
+            row[:] = -1.0
+        for i in range(3):
+            assert cache.get(bytes([i]))[0] == float(i)
+
+    def test_get_many_rows_are_readonly(self):
+        cache = LRUCache(max_size=8)
+        cache.put_many([(b"a", np.zeros(2)), (b"b", np.ones(2))])
+        hit_a, miss, hit_b = cache.get_many([b"a", b"x", b"b"])
+        assert miss is None
+        for hit in (hit_a, hit_b):
+            with pytest.raises(ValueError):
+                hit[0] = 5.0
+        assert cache.get(b"a")[0] == 0.0
+        assert cache.get(b"b")[0] == 1.0

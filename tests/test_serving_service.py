@@ -128,6 +128,20 @@ class TestCaching:
         Z[:] = -999.0  # hostile caller scribbles over its result
         np.testing.assert_allclose(service.transform("pfr", Xq), expected)
 
+    def test_transform_one_rows_are_readonly_hit_or_miss(self, setup, rng):
+        registry, model, _ = setup
+        service = TransformService(registry)
+        row = rng.normal(size=5)
+        expected = model.transform(row[None])[0]
+        miss = service.transform_one("pfr", row)  # miss populates the cache
+        hit = service.transform_one("pfr", row)
+        # Mutability must not depend on cache state: both paths raise
+        # instead of corrupting (or appearing to tolerate) mutation.
+        for result in (miss, hit):
+            with pytest.raises(ValueError):
+                result[0] = -999.0
+        np.testing.assert_allclose(service.transform_one("pfr", row), expected)
+
     def test_cache_disabled(self, setup, rng):
         registry, *_ = setup
         service = TransformService(registry, cache_size=0)
