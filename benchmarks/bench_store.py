@@ -1,0 +1,241 @@
+"""Run-ledger benchmark: warm re-runs and incremental grid extension.
+
+The workload is a COMPAS-scale multi-seed γ-sweep expressed as a
+declarative :class:`~repro.experiments.RunSpec` and executed through a
+content-addressed :class:`~repro.store.RunLedger`
+(:func:`~repro.experiments.run_spec`). Three things are measured and
+asserted:
+
+* **Warm speedup** — re-running the identical spec over the populated
+  ledger must beat the cold run by the floor (default ≥ 5×): every cell is
+  a digest hit, so the warm run is spec compilation + dataset hashing +
+  JSON decode, no fits.
+* **Incremental extension** — widening the finished grid by one γ must
+  compute *only* the new cells (`n_seeds` of them), every previous cell a
+  cache hit; the extension time is recorded alongside the per-cell cold
+  cost for context.
+* **Parity** — warm and resumed aggregates are *bitwise identical* to the
+  cold run's (exact float equality on every mean/std); the ledger may
+  change wall-clock only, never numbers.
+
+Writes machine-readable results to ``benchmarks/output/BENCH_store.json``
+(override with ``REPRO_BENCH_STORE_JSON``). Problem sizes scale with
+``REPRO_BENCH_SCALE``; the warm-speedup floor with
+``REPRO_BENCH_STORE_SPEEDUP_FLOOR``.
+
+Run directly (``python benchmarks/bench_store.py``) or via pytest
+(``pytest benchmarks/bench_store.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.experiments import RunSpec, run_spec
+
+OUTPUT_JSON = Path(
+    os.environ.get(
+        "REPRO_BENCH_STORE_JSON",
+        Path(__file__).parent / "output" / "BENCH_store.json",
+    )
+)
+
+_SCALE = max(0.02, min(1.0, float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))))
+
+# COMPAS at half size by default, mirroring bench_parallel's regime; 4
+# seeds × 5 γ values is a realistic figure-10-with-error-bars grid.
+DATASET_SCALE = 0.5 * _SCALE
+N_SEEDS = 4
+GAMMAS = (0.0, 0.25, 0.5, 0.75, 1.0)
+EXTENSION_GAMMA = 0.9
+
+# Warm re-run must be at least this much faster than cold. The full-scale
+# ratio is orders of magnitude (decode vs eigensolves); the floor is
+# deliberately conservative because at smoke scales the fixed costs —
+# dataset simulation and content hashing, paid by cold and warm alike —
+# are a visible fraction of the warm window.
+SPEEDUP_FLOOR = float(os.environ.get("REPRO_BENCH_STORE_SPEEDUP_FLOOR", "5.0"))
+
+
+def _spec(gammas) -> RunSpec:
+    return RunSpec.from_dict(
+        {
+            "name": "bench-store",
+            "datasets": [{"name": "compas", "scale": DATASET_SCALE}],
+            "methods": ["pfr"],
+            "gammas": list(gammas),
+            "seeds": N_SEEDS,
+            "harness": {"n_components": 3},
+        }
+    )
+
+
+def _aggregates_identical(a, b) -> bool:
+    """Exact float equality on every mean/std of every shared grid point."""
+    if set(a.aggregates) != set(b.aggregates):
+        return False
+    return all(
+        a.aggregates[key].mean == b.aggregates[key].mean
+        and a.aggregates[key].std == b.aggregates[key].std
+        for key in a.aggregates
+    )
+
+
+def run_benchmark() -> dict:
+    store = Path(tempfile.mkdtemp(prefix="repro-bench-store-"))
+    try:
+        spec = _spec(GAMMAS)
+
+        start = time.perf_counter()
+        cold = run_spec(spec, store=store)
+        cold_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = run_spec(spec, store=store)
+        warm_seconds = time.perf_counter() - start
+
+        extended_spec = _spec(GAMMAS + (EXTENSION_GAMMA,))
+        start = time.perf_counter()
+        extended = run_spec(extended_spec, store=store)
+        extension_seconds = time.perf_counter() - start
+
+        return {
+            "benchmark": "store",
+            "library_version": __version__,
+            "timestamp": time.time(),
+            "config": {
+                "dataset": "compas",
+                "dataset_scale": DATASET_SCALE,
+                "n_seeds": N_SEEDS,
+                "gammas": list(GAMMAS),
+                "extension_gamma": EXTENSION_GAMMA,
+                "scale": _SCALE,
+                "speedup_floor": SPEEDUP_FLOOR,
+            },
+            "results": {
+                "cold": {
+                    "seconds": cold_seconds,
+                    "cells_total": cold.n_total,
+                    "cells_computed": cold.n_computed,
+                    "seconds_per_cell": cold_seconds / max(cold.n_computed, 1),
+                },
+                "warm": {
+                    "seconds": warm_seconds,
+                    "cells_total": warm.n_total,
+                    "cells_cached": warm.n_cached,
+                    "cells_computed": warm.n_computed,
+                    "hit_rate": warm.hit_rate,
+                    "speedup_vs_cold": (
+                        cold_seconds / warm_seconds
+                        if warm_seconds > 0 else float("inf")
+                    ),
+                    "bitwise_identical": _aggregates_identical(warm, cold),
+                },
+                "extension": {
+                    "seconds": extension_seconds,
+                    "cells_total": extended.n_total,
+                    "cells_cached": extended.n_cached,
+                    "cells_computed": extended.n_computed,
+                    "expected_new_cells": N_SEEDS,
+                    "bitwise_identical_on_shared_grid": _aggregates_identical(
+                        cold, _shared_view(extended, cold)
+                    ),
+                },
+            },
+        }
+    finally:
+        shutil.rmtree(store, ignore_errors=True)
+
+
+class _shared_view:
+    """Restrict an extended report's aggregates to another report's keys."""
+
+    def __init__(self, extended, reference):
+        self.aggregates = {
+            key: extended.aggregates[key] for key in reference.aggregates
+        }
+
+
+def write_results(payload: dict) -> Path:
+    OUTPUT_JSON.parent.mkdir(parents=True, exist_ok=True)
+    OUTPUT_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return OUTPUT_JSON
+
+
+def _check(payload: dict) -> list:
+    """The PR's acceptance floors; returns a list of failure strings."""
+    failures = []
+    results = payload["results"]
+    warm, ext = results["warm"], results["extension"]
+    if warm["cells_computed"] != 0:
+        failures.append(
+            f"warm run recomputed {warm['cells_computed']} cells; every cell "
+            "should be a ledger hit"
+        )
+    if not warm["bitwise_identical"]:
+        failures.append(
+            "warm aggregates differ from cold — the ledger must never "
+            "change numbers"
+        )
+    floor = payload["config"]["speedup_floor"]
+    if warm["speedup_vs_cold"] < floor:
+        failures.append(
+            f"warm re-run speedup {warm['speedup_vs_cold']:.1f}x < "
+            f"{floor:.1f}x floor"
+        )
+    if ext["cells_computed"] != ext["expected_new_cells"]:
+        failures.append(
+            f"grid extension computed {ext['cells_computed']} cells; only "
+            f"the {ext['expected_new_cells']} new-gamma cells should run"
+        )
+    if not ext["bitwise_identical_on_shared_grid"]:
+        failures.append("extension changed numbers on the shared grid")
+    return failures
+
+
+def test_store_warm_rerun_and_extension():
+    payload = run_benchmark()
+    path = write_results(payload)
+    assert path.is_file()
+    failures = _check(payload)
+    assert not failures, "; ".join(failures)
+
+
+def main() -> int:
+    payload = run_benchmark()
+    path = write_results(payload)
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {path}", file=sys.stderr)
+    results = payload["results"]
+    print(
+        f"cold   {results['cold']['seconds']:7.2f}s  "
+        f"({results['cold']['cells_computed']} cells)",
+        file=sys.stderr,
+    )
+    print(
+        f"warm   {results['warm']['seconds']:7.2f}s  "
+        f"speedup {results['warm']['speedup_vs_cold']:6.1f}x  "
+        f"hit rate {results['warm']['hit_rate']:.0%}",
+        file=sys.stderr,
+    )
+    print(
+        f"extend {results['extension']['seconds']:7.2f}s  "
+        f"({results['extension']['cells_computed']} new cells of "
+        f"{results['extension']['cells_total']})",
+        file=sys.stderr,
+    )
+    failures = _check(payload)
+    print("PASS" if not failures else "FAIL: " + "; ".join(failures),
+          file=sys.stderr)
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

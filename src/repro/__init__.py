@@ -76,10 +76,10 @@ def __getattr__(name):
     # only when first touched, keeping `import repro` and the experiment
     # CLI paths free of the serving stack (PEP 562). Uses importlib
     # directly: a `from . import serving` here would re-enter __getattr__.
-    if name == "serving":
+    if name in ("serving", "store"):
         import importlib
 
-        return importlib.import_module(".serving", __name__)
+        return importlib.import_module(f".{name}", __name__)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -117,5 +117,6 @@ __all__ = [
     "load_model",
     "save_model",
     "serving",
+    "store",
     "__version__",
 ]

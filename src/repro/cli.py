@@ -2,16 +2,24 @@
 
 Usage::
 
+    python -m repro --version
     python -m repro list
     python -m repro run figure2 [--scale 0.5] [--seed 0] [--output out.txt]
     python -m repro run all --scale 0.25
     python -m repro report crime [--scale 0.5]
 
-    python -m repro experiments sweep DATASET [--method pfr] [--workers 4]
-    python -m repro experiments tune DATASET [--methods original,pfr] [--workers auto]
-    python -m repro experiments repeat DATASET [--seeds 0,1,2] [--workers 4]
+    python -m repro experiments list
+    python -m repro experiments run spec.yaml [--store DIR] [--workers 4]
+    python -m repro experiments sweep DATASET [--method pfr] [--workers 4] [--store DIR]
+    python -m repro experiments tune DATASET [--methods original,pfr] [--store DIR]
+    python -m repro experiments repeat DATASET [--seeds 0,1,2] [--store DIR]
+
+    python -m repro store ls [--store DIR] [--kind method_result]
+    python -m repro store gc [--store DIR] [--kind K] [--older-than-days D]
+    python -m repro store verify [--store DIR]
 
     python -m repro models register NAME artifact.npz [--registry DIR]
+    python -m repro models register NAME --from-ledger DIGEST [--store DIR]
     python -m repro models list [--registry DIR]
     python -m repro models show NAME[@VERSION] [--registry DIR]
     python -m repro models promote NAME VERSION [--registry DIR]
@@ -20,15 +28,20 @@ Usage::
 ``run`` executes the experiment's driver, prints the ASCII rendering, and
 optionally writes it to a file. ``list`` shows every experiment with the
 qualitative shapes the reproduction is expected to exhibit. The
-``experiments`` family runs γ-sweeps, the grid-search tuning protocol, and
-cross-seed repetition directly, with ``--workers`` fanning the independent
-fits out across processes (results are bitwise identical to serial). The
-``models`` family manages the versioned model registry
-(:mod:`repro.serving`) and ``transform`` pushes a CSV of feature rows
-through a registered model.
+``experiments`` family runs γ-sweeps, the grid-search tuning protocol,
+cross-seed repetition, and whole declarative scenario matrices
+(``experiments run spec.yaml``), with ``--workers`` fanning the
+independent fits out across processes (results are bitwise identical to
+serial) and ``--store`` routing every cell through the content-addressed
+run ledger (:mod:`repro.store`) — interrupted runs resume and extended
+grids pay only their new cells. The ``store`` family inspects and
+maintains that ledger. The ``models`` family manages the versioned model
+registry (:mod:`repro.serving`) and ``transform`` pushes a CSV of feature
+rows through a registered model.
 
 The registry directory defaults to the ``REPRO_REGISTRY`` environment
-variable, falling back to ``~/.repro/registry``.
+variable (falling back to ``~/.repro/registry``); the ledger to
+``REPRO_STORE`` (falling back to ``~/.repro/store``).
 """
 
 from __future__ import annotations
@@ -41,10 +54,11 @@ from pathlib import Path
 
 import numpy as np
 
+from ._version import __version__
 from .exceptions import ReproError
 from .experiments import EXPERIMENTS, get_experiment
 
-__all__ = ["main", "build_parser", "default_registry_root"]
+__all__ = ["main", "build_parser", "default_registry_root", "default_store_root"]
 
 
 def default_registry_root() -> Path:
@@ -55,11 +69,21 @@ def default_registry_root() -> Path:
     return Path.home() / ".repro" / "registry"
 
 
+def default_store_root() -> Path:
+    """Run-ledger location: ``$REPRO_STORE`` or ``~/.repro/store``."""
+    from .store import default_store_root as _default
+
+    return _default()
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the tables and figures of Lahoti et al., VLDB 2019",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -93,11 +117,24 @@ def build_parser() -> argparse.ArgumentParser:
         "register", help="register a saved model artifact as a new version"
     )
     register.add_argument("name", help="model name (letters, digits, . _ -)")
-    register.add_argument("artifact", help="path to a .npz written by save_model")
+    register.add_argument(
+        "artifact", nargs="?", default=None,
+        help="path to a .npz written by save_model (omit with --from-ledger)",
+    )
     register.add_argument("--registry", default=None, help="registry directory")
     register.add_argument(
         "--no-promote", action="store_true",
         help="register without moving the 'latest' pointer",
+    )
+    register.add_argument(
+        "--from-ledger", default=None, metavar="DIGEST",
+        help="register the model blob of a run-ledger entry (see "
+             "ExperimentHarness.export_model) instead of an artifact file",
+    )
+    register.add_argument(
+        "--store", default=None,
+        help="run-ledger directory for --from-ledger "
+             "(default: $REPRO_STORE or ~/.repro/store)",
     )
 
     list_models = models_sub.add_parser(
@@ -134,8 +171,33 @@ def build_parser() -> argparse.ArgumentParser:
             help="process fan-out: a count or 'auto' (default: serial); "
                  "results are bitwise identical to a serial run",
         )
+        sub.add_argument(
+            "--store", default=None,
+            help="run-ledger directory: completed cells are skipped and "
+                 "new ones persisted, so interrupted runs resume "
+                 "(default: no persistence)",
+        )
         sub.add_argument("--json", action="store_true",
                          help="emit machine-readable JSON instead of a table")
+
+    exp_sub.add_parser(
+        "list", help="list the paper-experiment registry (tables/figures)"
+    )
+
+    run_spec_cmd = exp_sub.add_parser(
+        "run", help="execute a declarative RunSpec (YAML/JSON scenario matrix)"
+    )
+    run_spec_cmd.add_argument("spec", help="path to a spec file (see examples/run_spec.yaml)")
+    run_spec_cmd.add_argument(
+        "--store", default=None,
+        help="run-ledger directory (default: $REPRO_STORE or ~/.repro/store)",
+    )
+    run_spec_cmd.add_argument(
+        "--workers", default=None,
+        help="process fan-out for the missing cells (count or 'auto')",
+    )
+    run_spec_cmd.add_argument("--json", action="store_true",
+                              help="emit the machine-readable run report")
 
     sweep = exp_sub.add_parser(
         "sweep", help="γ-sweep one method on a workload"
@@ -168,6 +230,41 @@ def build_parser() -> argparse.ArgumentParser:
     repeat.add_argument("--gamma", type=float, default=0.5,
                         help="γ forwarded to every method (default 0.5)")
 
+    store = subparsers.add_parser(
+        "store", help="inspect and maintain the content-addressed run ledger"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    def _store_common(sub):
+        sub.add_argument(
+            "--store", default=None,
+            help="ledger directory (default: $REPRO_STORE or ~/.repro/store)",
+        )
+        sub.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON")
+
+    store_ls = store_sub.add_parser("ls", help="list ledger entries")
+    _store_common(store_ls)
+    store_ls.add_argument("--kind", default=None,
+                          help="filter by entry kind (method_result, "
+                               "tuned_point, model)")
+
+    store_gc = store_sub.add_parser(
+        "gc", help="sweep stray temp files, orphaned blobs, filtered entries"
+    )
+    _store_common(store_gc)
+    store_gc.add_argument("--kind", default=None,
+                          help="also remove entries of this kind")
+    store_gc.add_argument("--older-than-days", type=float, default=None,
+                          help="also remove entries older than this many days")
+    store_gc.add_argument("--dry-run", action="store_true",
+                          help="report without deleting")
+
+    store_verify = store_sub.add_parser(
+        "verify", help="integrity-check every ledger entry"
+    )
+    _store_common(store_verify)
+
     transform = subparsers.add_parser(
         "transform", help="transform a CSV of feature rows through a model"
     )
@@ -194,11 +291,37 @@ def _registry(args):
     return ModelRegistry(root)
 
 
+def _ledger(args):
+    from .store import RunLedger
+
+    root = Path(args.store) if args.store else default_store_root()
+    return RunLedger(root)
+
+
 def _cmd_models(args) -> int:
     from .io import load_model
 
     registry = _registry(args)
     if args.models_command == "register":
+        if (args.artifact is None) == (args.from_ledger is None):
+            print(
+                "error: register needs exactly one source — an artifact "
+                "path or --from-ledger DIGEST",
+                file=sys.stderr,
+            )
+            return 2
+        if args.from_ledger is not None:
+            record = registry.register_from_ledger(
+                _ledger(args), args.from_ledger, args.name,
+                promote=not args.no_promote,
+            )
+            print(
+                f"registered {record.spec} ({record.model_type}, "
+                f"{record.n_features_in} features) from ledger "
+                f"{args.from_ledger[:12]}…"
+                + ("" if record.is_latest else " [not promoted]")
+            )
+            return 0
         model = load_model(args.artifact)
         record = registry.register(
             args.name, model, promote=not args.no_promote
@@ -289,11 +412,57 @@ def _cmd_experiments(args) -> int:
     from .experiments.builders import WorkloadFactory
     from .experiments.report import render_table
 
+    if args.experiments_command == "list":
+        # The paper-experiment registry (repro.experiments.PaperExperiment).
+        print(render_table(
+            ["id", "dataset", "title", "benchmark"],
+            [[spec.experiment_id, spec.dataset, spec.title, spec.bench_module]
+             for spec in EXPERIMENTS.values()],
+        ))
+        return 0
+
     workers = _parse_workers(args.workers)
+
+    if args.experiments_command == "run":
+        from .experiments import load_run_spec, run_spec
+
+        spec = load_run_spec(args.spec)
+        store = Path(args.store) if args.store else default_store_root()
+        report = run_spec(spec, store=store, workers=workers)
+        if args.json:
+            print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+            return 0
+        print(
+            f"spec {spec.name!r}: {report.n_total} cells — "
+            f"{report.n_cached} cached, {report.n_computed} computed "
+            f"(hit rate {report.hit_rate:.0%}) [store: {store}]"
+        )
+        if report.aggregates:
+            print(render_table(
+                ["dataset", "method", "gamma", "runs", "AUC", "Cons(WF)",
+                 "Cons(WX)", "parity gap"],
+                [[dataset, method, gamma, agg.n_runs, agg.format("auc"),
+                  agg.format("consistency_wf"), agg.format("consistency_wx"),
+                  agg.format("parity_gap")]
+                 for (dataset, method, gamma), agg
+                 in report.aggregates.items()],
+            ))
+        else:
+            print(render_table(
+                ["dataset", "method", "gamma", "seed", "AUC", "Cons(WF)",
+                 "Cons(WX)", "parity gap"],
+                [[dataset, method, gamma, seed, r.auc, r.consistency_wf,
+                  r.consistency_wx, r.rates.gap("positive_rate")]
+                 for (dataset, method, gamma, seed), r
+                 in report.results.items()],
+            ))
+        return 0
+
+    store = getattr(args, "store", None)
 
     if args.experiments_command == "sweep":
         harness = workload_harness(
-            args.dataset, seed=args.seed, scale=args.scale
+            args.dataset, seed=args.seed, scale=args.scale, store=store
         )
         gammas = [float(g) for g in _csv(args.gammas)]
         results = harness.gamma_sweep(
@@ -317,7 +486,7 @@ def _cmd_experiments(args) -> int:
 
     if args.experiments_command == "tune":
         harness = workload_harness(
-            args.dataset, seed=args.seed, scale=args.scale
+            args.dataset, seed=args.seed, scale=args.scale, store=store
         )
         tuned = tune_methods(
             harness,
@@ -354,6 +523,7 @@ def _cmd_experiments(args) -> int:
         seeds=seeds,
         gamma=args.gamma,
         workers=workers,
+        store=store,
     )
     if args.json:
         print(json.dumps(
@@ -375,6 +545,80 @@ def _cmd_experiments(args) -> int:
           agg.format("consistency_wx"), agg.format("parity_gap")]
          for method, agg in aggregates.items()],
     ))
+    return 0
+
+
+def _cmd_store(args) -> int:
+    from .experiments.report import render_table
+
+    ledger = _ledger(args)
+
+    if args.store_command == "ls":
+        entries = ledger.ls(kind=args.kind)
+        if args.json:
+            print(json.dumps(
+                [
+                    {
+                        "digest": e.digest,
+                        "kind": e.kind,
+                        "created_at": e.created_at,
+                        "library_version": e.library_version,
+                        "has_model": e.has_model,
+                    }
+                    for e in entries
+                ],
+                indent=2,
+            ))
+            return 0
+        if not entries:
+            print(f"ledger {ledger.root} is empty")
+            return 0
+        print(render_table(
+            ["DIGEST", "KIND", "DATASET", "METHOD", "MODEL"],
+            [[e.digest[:16], e.kind,
+              str(e.task.get("harness", {}).get("dataset", {}).get("name",
+                  e.task.get("dataset", "-"))),
+              str(e.task.get("method", "-")),
+              "yes" if e.has_model else "-"]
+             for e in entries],
+        ))
+        print(f"{len(entries)} entries in {ledger.root}")
+        return 0
+
+    if args.store_command == "gc":
+        report = ledger.gc(
+            kind=args.kind,
+            older_than=(
+                args.older_than_days * 86400.0
+                if args.older_than_days is not None else None
+            ),
+            dry_run=args.dry_run,
+        )
+        if args.json:
+            print(json.dumps(report, indent=2))
+            return 0
+        verb = "would remove" if args.dry_run else "removed"
+        print(
+            f"{verb} {len(report['removed'])} entries, "
+            f"{len(report['corrupt'])} corrupt entries, "
+            f"{len(report['orphans'])} orphaned model blobs, "
+            f"{len(report['tmp_files'])} stray temp files"
+        )
+        return 0
+
+    # verify
+    report = ledger.verify()
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0 if not report["problems"] else 1
+    print(f"checked {report['checked']} entries in {ledger.root}")
+    for problem in report["problems"]:
+        print(f"  CORRUPT {problem['digest'][:16]}: {problem['error']}")
+    if report["problems"]:
+        print(f"{len(report['problems'])} problems found "
+              "(repair: `repro store gc` after investigating)")
+        return 1
+    print("ledger OK")
     return 0
 
 
@@ -447,6 +691,13 @@ def main(argv=None) -> int:
             # stdout so the interpreter's shutdown flush doesn't raise too.
             os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
             return 0
+
+    if args.command == "store":
+        try:
+            return _cmd_store(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.command == "transform":
         try:

@@ -63,10 +63,20 @@ def make_workload(name: str, *, seed: int = 0, scale: float = 1.0) -> Dataset:
         raise ValidationError(f"unknown dataset {name!r}")
     sizes = tuple(_scaled(count, scale) for count in _WORKLOAD_SIZES[name])
     if name == "synthetic":
-        return simulate_admissions(*sizes, seed=seed)
-    if name == "crime":
-        return simulate_crime(*sizes, seed=seed)
-    return simulate_compas(*sizes, seed=seed)
+        dataset = simulate_admissions(*sizes, seed=seed)
+    elif name == "crime":
+        dataset = simulate_crime(*sizes, seed=seed)
+    else:
+        dataset = simulate_compas(*sizes, seed=seed)
+    # Human-readable provenance for run-ledger task descriptors: the
+    # ledger keys on the dataset *content* (repro.store.dataset_fingerprint
+    # hashes the arrays), but `repro store ls` readers want to know which
+    # workload draw a digest came from without reversing a hash.
+    dataset.metadata.setdefault(
+        "provenance",
+        {"workload": name, "seed": int(seed), "scale": float(scale)},
+    )
+    return dataset
 
 
 @dataclass(frozen=True)

@@ -12,12 +12,16 @@ from dataclasses import dataclass
 
 from . import figures
 
-__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment"]
+__all__ = ["PaperExperiment", "ExperimentSpec", "EXPERIMENTS", "get_experiment"]
 
 
 @dataclass(frozen=True)
-class ExperimentSpec:
-    """One reproducible experiment.
+class PaperExperiment:
+    """One reproducible paper experiment (a table or figure of §4).
+
+    Renamed from ``ExperimentSpec`` so the name cannot be confused with
+    the declarative :class:`~repro.experiments.RunSpec` scenario matrix;
+    ``ExperimentSpec`` remains as a deprecated alias.
 
     Attributes
     ----------
@@ -45,8 +49,12 @@ class ExperimentSpec:
     bench_module: str
 
 
+#: Deprecated alias (pre-PR-5 name); prefer :class:`PaperExperiment`.
+ExperimentSpec = PaperExperiment
+
+
 EXPERIMENTS = {
-    "table1": ExperimentSpec(
+    "table1": PaperExperiment(
         "table1",
         "Experimental setting and statistics of the datasets",
         "all",
@@ -58,7 +66,7 @@ EXPERIMENTS = {
         ),
         "benchmarks/bench_table1_datasets.py",
     ),
-    "figure1": ExperimentSpec(
+    "figure1": PaperExperiment(
         "figure1",
         "Learned 2-D representations on the synthetic dataset",
         "synthetic",
@@ -70,7 +78,7 @@ EXPERIMENTS = {
         ),
         "benchmarks/bench_fig1_representations.py",
     ),
-    "figure2": ExperimentSpec(
+    "figure2": PaperExperiment(
         "figure2",
         "Synthetic: utility vs. individual fairness per method",
         "synthetic",
@@ -82,7 +90,7 @@ EXPERIMENTS = {
         ),
         "benchmarks/bench_fig2_synthetic_tradeoff.py",
     ),
-    "figure3": ExperimentSpec(
+    "figure3": PaperExperiment(
         "figure3",
         "Synthetic: per-group positive-prediction and error rates",
         "synthetic",
@@ -93,7 +101,7 @@ EXPERIMENTS = {
         ),
         "benchmarks/bench_fig3_synthetic_group_fairness.py",
     ),
-    "figure4": ExperimentSpec(
+    "figure4": PaperExperiment(
         "figure4",
         "Synthetic: influence of gamma",
         "synthetic",
@@ -105,7 +113,7 @@ EXPERIMENTS = {
         ),
         "benchmarks/bench_fig4_synthetic_gamma.py",
     ),
-    "figure5": ExperimentSpec(
+    "figure5": PaperExperiment(
         "figure5",
         "Crime: utility vs. individual fairness (augmented baselines)",
         "crime",
@@ -116,7 +124,7 @@ EXPERIMENTS = {
         ),
         "benchmarks/bench_fig5_crime_tradeoff.py",
     ),
-    "figure6": ExperimentSpec(
+    "figure6": PaperExperiment(
         "figure6",
         "Crime: group fairness (incl. Hardt+)",
         "crime",
@@ -127,7 +135,7 @@ EXPERIMENTS = {
         ),
         "benchmarks/bench_fig6_crime_group_fairness.py",
     ),
-    "figure7": ExperimentSpec(
+    "figure7": PaperExperiment(
         "figure7",
         "Crime: influence of gamma",
         "crime",
@@ -138,7 +146,7 @@ EXPERIMENTS = {
         ),
         "benchmarks/bench_fig7_crime_gamma.py",
     ),
-    "figure8": ExperimentSpec(
+    "figure8": PaperExperiment(
         "figure8",
         "COMPAS: utility vs. individual fairness (augmented baselines)",
         "compas",
@@ -150,7 +158,7 @@ EXPERIMENTS = {
         ),
         "benchmarks/bench_fig8_compas_tradeoff.py",
     ),
-    "figure9": ExperimentSpec(
+    "figure9": PaperExperiment(
         "figure9",
         "COMPAS: group fairness (incl. Hardt+)",
         "compas",
@@ -160,7 +168,7 @@ EXPERIMENTS = {
         ),
         "benchmarks/bench_fig9_compas_group_fairness.py",
     ),
-    "figure10": ExperimentSpec(
+    "figure10": PaperExperiment(
         "figure10",
         "COMPAS: influence of gamma",
         "compas",
@@ -174,7 +182,7 @@ EXPERIMENTS = {
 }
 
 
-def get_experiment(experiment_id: str) -> ExperimentSpec:
+def get_experiment(experiment_id: str) -> PaperExperiment:
     """Look up an experiment by its paper identifier."""
     if experiment_id not in EXPERIMENTS:
         raise KeyError(

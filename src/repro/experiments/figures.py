@@ -249,10 +249,17 @@ def _tradeoff_figure(
     seed: int,
     scale: float,
     gamma: float | None = None,
+    store=None,
 ) -> FigureResult:
-    """Utility-vs-individual-fairness bars (Figures 2, 5, 8)."""
+    """Utility-vs-individual-fairness bars (Figures 2, 5, 8).
+
+    ``store`` routes every method cell through the run ledger
+    (:mod:`repro.store`): the figure's result dict is rebuilt from ledger
+    queries, so regenerating a figure over a populated ledger costs
+    decode time, not refits.
+    """
     gamma = _DATASET_GAMMA[dataset] if gamma is None else gamma
-    harness = _harness(dataset, seed=seed, scale=scale)
+    harness = _harness(dataset, seed=seed, scale=scale, store=store)
     results = harness.run_methods(methods, gamma=gamma)
 
     rows = [
@@ -288,10 +295,11 @@ def _group_fairness_figure(
     seed: int,
     scale: float,
     gamma: float | None = None,
+    store=None,
 ) -> FigureResult:
     """Per-group positive rates and error rates (Figures 3, 6, 9)."""
     gamma = _DATASET_GAMMA[dataset] if gamma is None else gamma
-    harness = _harness(dataset, seed=seed, scale=scale)
+    harness = _harness(dataset, seed=seed, scale=scale, store=store)
     results = harness.run_methods(methods, gamma=gamma)
 
     rows = []
@@ -338,9 +346,15 @@ def _gamma_sweep_figure(
     seed: int,
     scale: float,
     gammas,
+    store=None,
 ) -> FigureResult:
-    """γ-sweep of PFR (Figures 4, 7, 10)."""
-    harness = _harness(dataset, seed=seed, scale=scale)
+    """γ-sweep of PFR (Figures 4, 7, 10).
+
+    With a ``store``, completed γ points are decoded from the run ledger
+    instead of recomputed — extending the sweep's grid re-pays only the
+    new points.
+    """
+    harness = _harness(dataset, seed=seed, scale=scale, store=store)
     sweep = harness.gamma_sweep(gammas, method="pfr")
 
     series = {
@@ -387,62 +401,64 @@ def _gamma_sweep_figure(
 # The paper's figures
 # ---------------------------------------------------------------------------
 
-def figure2(*, seed: int = 0, scale: float = 1.0) -> FigureResult:
+def figure2(*, seed: int = 0, scale: float = 1.0, store=None) -> FigureResult:
     """Synthetic: AUC / Consistency(WX) / Consistency(WF) per method."""
     return _tradeoff_figure("figure2", "synthetic", SYNTHETIC_METHODS,
-                            seed=seed, scale=scale)
+                            seed=seed, scale=scale, store=store)
 
 
-def figure3(*, seed: int = 0, scale: float = 1.0) -> FigureResult:
+def figure3(*, seed: int = 0, scale: float = 1.0, store=None) -> FigureResult:
     """Synthetic: per-group positive-prediction and error rates (incl. Hardt)."""
     return _group_fairness_figure(
         "figure3", "synthetic", SYNTHETIC_METHODS + ("hardt",),
-        seed=seed, scale=scale,
+        seed=seed, scale=scale, store=store,
     )
 
 
 def figure4(*, seed: int = 0, scale: float = 1.0,
-            gammas=DEFAULT_GAMMAS) -> FigureResult:
+            gammas=DEFAULT_GAMMAS, store=None) -> FigureResult:
     """Synthetic: γ sweep."""
     return _gamma_sweep_figure("figure4", "synthetic", seed=seed, scale=scale,
-                               gammas=gammas)
+                               gammas=gammas, store=store)
 
 
-def figure5(*, seed: int = 0, scale: float = 1.0) -> FigureResult:
+def figure5(*, seed: int = 0, scale: float = 1.0, store=None) -> FigureResult:
     """Crime & Communities: utility vs. individual fairness (augmented baselines)."""
     return _tradeoff_figure("figure5", "crime", REAL_METHODS,
-                            seed=seed, scale=scale)
+                            seed=seed, scale=scale, store=store)
 
 
-def figure6(*, seed: int = 0, scale: float = 1.0) -> FigureResult:
+def figure6(*, seed: int = 0, scale: float = 1.0, store=None) -> FigureResult:
     """Crime & Communities: group fairness (incl. Hardt+)."""
     return _group_fairness_figure(
-        "figure6", "crime", REAL_METHODS + ("hardt+",), seed=seed, scale=scale
+        "figure6", "crime", REAL_METHODS + ("hardt+",), seed=seed, scale=scale,
+        store=store,
     )
 
 
 def figure7(*, seed: int = 0, scale: float = 1.0,
-            gammas=DEFAULT_GAMMAS) -> FigureResult:
+            gammas=DEFAULT_GAMMAS, store=None) -> FigureResult:
     """Crime & Communities: γ sweep."""
     return _gamma_sweep_figure("figure7", "crime", seed=seed, scale=scale,
-                               gammas=gammas)
+                               gammas=gammas, store=store)
 
 
-def figure8(*, seed: int = 0, scale: float = 1.0) -> FigureResult:
+def figure8(*, seed: int = 0, scale: float = 1.0, store=None) -> FigureResult:
     """COMPAS: utility vs. individual fairness (augmented baselines)."""
     return _tradeoff_figure("figure8", "compas", REAL_METHODS,
-                            seed=seed, scale=scale)
+                            seed=seed, scale=scale, store=store)
 
 
-def figure9(*, seed: int = 0, scale: float = 1.0) -> FigureResult:
+def figure9(*, seed: int = 0, scale: float = 1.0, store=None) -> FigureResult:
     """COMPAS: group fairness (incl. Hardt+)."""
     return _group_fairness_figure(
-        "figure9", "compas", REAL_METHODS + ("hardt+",), seed=seed, scale=scale
+        "figure9", "compas", REAL_METHODS + ("hardt+",), seed=seed, scale=scale,
+        store=store,
     )
 
 
 def figure10(*, seed: int = 0, scale: float = 1.0,
-             gammas=DEFAULT_GAMMAS) -> FigureResult:
+             gammas=DEFAULT_GAMMAS, store=None) -> FigureResult:
     """COMPAS: γ sweep."""
     return _gamma_sweep_figure("figure10", "compas", seed=seed, scale=scale,
-                               gammas=gammas)
+                               gammas=gammas, store=store)

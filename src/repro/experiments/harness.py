@@ -45,7 +45,48 @@ from ..ml import (
 from ..ml.model_selection import ParameterGrid, StratifiedKFold
 from .parallel import get_executor
 
-__all__ = ["MethodResult", "ExperimentHarness", "within_group_ranking_scores"]
+__all__ = [
+    "MethodResult",
+    "ExperimentHarness",
+    "cell_task",
+    "within_group_ranking_scores",
+]
+
+
+def cell_task(
+    harness_fingerprint: dict, method: str, gamma, C, method_params: dict
+) -> dict:
+    """Canonical run-ledger task descriptor of one ``run_method`` cell.
+
+    The single definition of a cell's identity, shared by the harness
+    (read/write-through) and the spec runner (pre-dispatch skip) — the
+    two must agree byte-for-byte or cache hits silently stop happening.
+    """
+    return {
+        "kind": "method_result",
+        "harness": harness_fingerprint,
+        "method": str(method),
+        "gamma": float(gamma),
+        "C": float(C),
+        "params": method_params,
+    }
+
+
+def _ledger_fetch(ledger, digest: str):
+    """A ledger entry that must exist after dispatch; raise clearly if not.
+
+    The only way it can be missing is external interference (a concurrent
+    ``repro store gc``, manual deletion) between the worker's write-through
+    and the parent's read-back.
+    """
+    entry = ledger.get(digest)
+    if entry is None:
+        raise ValidationError(
+            f"ledger entry {digest[:12]}… vanished between computation and "
+            "read-back (concurrent gc or external deletion?); re-run to "
+            "recompute the missing cells"
+        )
+    return entry
 
 
 # -- executor task functions (module-level so process backends can pickle
@@ -152,6 +193,15 @@ class ExperimentHarness:
         Optional per-method hyper-parameter overrides, e.g.
         ``{"lfr": {"a_z": 1.0}}`` — the stand-in for the per-dataset grid
         search the paper runs (``tune()`` reproduces the search itself).
+    store:
+        A run-ledger directory or :class:`~repro.store.RunLedger`. When
+        set, every ``run_method`` cell and every tuned grid point is
+        read-through/written-through the content-addressed ledger: a cell
+        whose task digest is already on disk is decoded instead of
+        recomputed, so interrupted sweeps resume and extended grids pay
+        only their new cells. Results are bitwise identical with or
+        without a store, serial or parallel. ``None`` (default) keeps
+        everything in memory, as before.
     """
 
     def __init__(
@@ -167,6 +217,7 @@ class ExperimentHarness:
         landmarks: int | None = None,
         landmark_strategy: str = "kmeans++",
         method_overrides: dict | None = None,
+        store=None,
     ):
         self.dataset = dataset
         self.test_size = test_size
@@ -178,6 +229,7 @@ class ExperimentHarness:
         self.landmarks = landmarks
         self.landmark_strategy = landmark_strategy
         self.method_overrides = method_overrides or {}
+        self.store = store
         self._prepared = False
         # Staged-fit reuse (repro.core.plan / repro.core.approx): γ-sweeps
         # and repeated run_method calls share one fit plan (Spectral- or
@@ -195,11 +247,58 @@ class ExperimentHarness:
         fan-out cost. Each worker rebuilds its plans lazily — once per
         (fold, structural-params) key — and then reuses them for every
         task it handles, preserving the sweep amortization per process.
+        The ``store`` attribute itself ships (a ledger is just a root
+        path), so workers write through to the same on-disk ledger.
         """
         state = self.__dict__.copy()
         state["_plan_cache"] = {}
         state["_tune_plan_cache"] = {}
         return state
+
+    # -- run-ledger plumbing (repro.store) ---------------------------------
+
+    def _ledger(self):
+        """The :class:`~repro.store.RunLedger` behind ``store`` (or None)."""
+        from ..store import coerce_ledger
+
+        return coerce_ledger(self.store)
+
+    def task_fingerprint(self) -> dict:
+        """Canonical descriptor of everything a cell result depends on.
+
+        Covers the dataset *content* (array hashes, not generator
+        arguments) and every harness knob that shapes a result. Two
+        harnesses with equal fingerprints produce bitwise-identical cells,
+        which is what lets the ledger treat the digest as the cache key.
+        """
+        from ..store import dataset_fingerprint
+
+        return {
+            "dataset": dataset_fingerprint(self.dataset),
+            "test_size": float(self.test_size),
+            "seed": int(self.seed),
+            "n_quantiles": int(self.n_quantiles),
+            "rating_resolution": float(self.rating_resolution),
+            "n_neighbors": int(self.n_neighbors),
+            "n_components": self.n_components,
+            "landmarks": self.landmarks,
+            "landmark_strategy": str(self.landmark_strategy),
+            "method_overrides": self.method_overrides,
+        }
+
+    def _cell_task(self, method: str, gamma, C, method_params: dict) -> dict:
+        return cell_task(
+            self.task_fingerprint(), method, gamma, C, method_params
+        )
+
+    def _cell_digest(self, method: str, kwargs: dict) -> str:
+        """Digest of one ``run_method`` call expressed as sweep kwargs."""
+        from ..store import task_digest
+
+        kwargs = dict(kwargs)
+        gamma = kwargs.pop("gamma", 0.5)
+        C = kwargs.pop("C", 1.0)
+        return task_digest(self._cell_task(method, gamma, C, kwargs))
 
     # -- data preparation --------------------------------------------------
 
@@ -281,8 +380,11 @@ class ExperimentHarness:
         X_train, X_test = self.X_train, self.X_test
 
         if base == "original":
-            masker = MaskedRepresentation(protected_columns=self.protected)
-            Z_train = masker.fit_transform(X_train)
+            masker = self._fit_base_estimator(
+                base, X_train, gamma=gamma, augment=augment,
+                method_params=method_params,
+            )
+            Z_train = masker.transform(X_train)
             Z_test = masker.transform(X_test)
             if augment:
                 Z_train, Z_test = self._augmented(Z_train, Z_test)
@@ -290,6 +392,28 @@ class ExperimentHarness:
 
         if augment:
             X_train, X_test = self._augmented(X_train, X_test)
+
+        model = self._fit_base_estimator(
+            base, X_train, gamma=gamma, augment=augment,
+            method_params=method_params,
+        )
+        return model.transform(X_train), model.transform(X_test)
+
+    def _fit_base_estimator(
+        self, base: str, X_train, *, gamma: float, method_params: dict,
+        augment: bool = False,
+    ):
+        """Construct and fit the representation estimator for a base method.
+
+        ``X_train`` is the (possibly augmented) training matrix the
+        estimator should see; ``method_params`` must already include the
+        harness ``method_overrides``. Shared by :meth:`_representation`
+        (which then transforms train/test) and :meth:`export_model` (which
+        persists the fitted estimator into a run ledger).
+        """
+        if base == "original":
+            masker = MaskedRepresentation(protected_columns=self.protected)
+            return masker.fit(X_train)
 
         if base == "pfr":
             # PFR sees the full attribute vector (like iFair/LFR it must
@@ -304,7 +428,7 @@ class ExperimentHarness:
                 **{**self._landmark_params(len(self.train_idx)), **method_params},
             )
             self._plan_fit(model, X_train, base, augment, method_params)
-            return model.transform(X_train), model.transform(X_test)
+            return model
 
         if base == "kpfr":
             # Kernelized PFR (§3.3.4) — the paper's future-work extension.
@@ -325,26 +449,76 @@ class ExperimentHarness:
                 **params,
             )
             self._plan_fit(model, X_train, base, augment, method_params)
-            return model.transform(X_train), model.transform(X_test)
+            return model
 
         if base == "ifair":
             params = {"n_prototypes": 10, "max_iter": 100, "seed": self.seed}
             params.update(method_params)
             model = IFair(protected_columns=self.protected, **params)
-            Z_train = model.fit_transform(X_train)
-            return Z_train, model.transform(X_test)
+            return model.fit(X_train)
 
         if base == "lfr":
             params = {"n_prototypes": 10, "max_iter": 150, "seed": self.seed}
             params.update(method_params)
             model = LFR(**params)
-            model.fit(X_train, self.y_train, s=self.s_train)
-            return model.transform(X_train), model.transform(X_test)
+            return model.fit(X_train, self.y_train, s=self.s_train)
 
         raise ValidationError(
-            f"unknown method {method!r}; use original/ifair/lfr/pfr/kpfr "
+            f"unknown method {base!r}; use original/ifair/lfr/pfr/kpfr "
             "(+ optional '+') or hardt"
         )
+
+    def export_model(self, method: str, *, gamma: float = 0.5, **method_params):
+        """Fit a base method's estimator and persist it into the run ledger.
+
+        Returns the :class:`~repro.store.LedgerEntry` whose model blob a
+        :meth:`~repro.serving.ModelRegistry.register_from_ledger` call can
+        promote straight into serving — the experiment → serving handoff
+        is those two calls. Requires a ``store``; only base methods
+        (``original``/``pfr``/``kpfr``/``ifair``/``lfr``) are exportable —
+        augmented ("+") variants and ``hardt`` are pipelines, not a single
+        estimator artifact.
+        """
+        ledger = self._ledger()
+        if ledger is None:
+            raise ValidationError(
+                "export_model needs a run ledger; construct the harness "
+                "with store=..."
+            )
+        if method.endswith("+") or method.rstrip("+") == "hardt":
+            raise ValidationError(
+                f"cannot export {method!r}: only base representation methods "
+                "(original/pfr/kpfr/ifair/lfr) map to a single estimator "
+                "artifact"
+            )
+        self.prepare()
+        merged = {**self.method_overrides.get(method, {}), **method_params}
+        task = {
+            "kind": "model",
+            "harness": self.task_fingerprint(),
+            "method": method,
+            "gamma": float(gamma),
+            "params": merged,
+        }
+        from ..store import task_digest
+
+        cached = ledger.get(task_digest(task))
+        if cached is not None and cached.has_model:
+            return cached
+        model = self._fit_base_estimator(
+            method, self.X_train, gamma=gamma, method_params=merged
+        )
+        digests = getattr(model, "plan_digests_", None)
+        payload = {
+            "model_type": type(model).__name__,
+            "method": method,
+            "gamma": float(gamma),
+            "stage_digests": (
+                {str(k): str(v) for k, v in digests.items()}
+                if isinstance(digests, dict) else {}
+            ),
+        }
+        return ledger.put(task, payload, model=model)
 
     def _landmark_params(self, n_train: int) -> dict:
         """Landmark-Nyström kwargs for PFR-family models (empty = exact)."""
@@ -404,8 +578,35 @@ class ExperimentHarness:
         ``+`` adds the side-information augmentation), and ``hardt`` /
         ``hardt+`` (equalized-odds post-processing on the original
         representation).
+
+        With a ``store`` configured, the cell is read-through/written-
+        through the run ledger: a digest hit decodes the persisted result
+        instead of recomputing, and a miss is persisted the moment it
+        completes — so a killed sweep loses at most the cell in flight.
         """
         self.prepare()
+        ledger = self._ledger()
+        if ledger is None:
+            return self._run_method_direct(
+                method, gamma=gamma, C=C, method_params=method_params
+            )
+        from ..store import decode_method_result, encode_method_result
+
+        task = self._cell_task(method, gamma, C, method_params)
+        entry = ledger.get_task(task)
+        if entry is None:
+            result = self._run_method_direct(
+                method, gamma=gamma, C=C, method_params=method_params
+            )
+            entry = ledger.put(task, encode_method_result(result))
+        # Decode even freshly-computed cells so every path — cold, warm,
+        # resumed, parallel — returns the identical round-tripped object.
+        return decode_method_result(entry.payload)
+
+    def _run_method_direct(
+        self, method: str, *, gamma: float, C: float, method_params: dict
+    ) -> MethodResult:
+        """The ledger-free evaluation path (reference semantics)."""
         if method.rstrip("+") == "hardt":
             return self._run_hardt(augment=method.endswith("+"), C=C)
 
@@ -451,14 +652,33 @@ class ExperimentHarness:
         ``workers`` fans the (independent) methods out across processes —
         ``None`` runs serially, an int / ``"auto"`` / an
         :class:`~repro.experiments.parallel.Executor` parallelizes.
-        Results are bitwise identical either way.
+        Results are bitwise identical either way. With a ``store``,
+        already-ledgered methods are skipped before dispatch and the
+        returned dict is rebuilt from ledger queries.
         """
         self.prepare()
         methods = list(methods)
-        results = get_executor(workers).map(
-            _run_method_task, methods, state=(self, gamma, kwargs)
+        ledger = self._ledger()
+        if ledger is None:
+            results = get_executor(workers).map(
+                _run_method_task, methods, state=(self, gamma, kwargs)
+            )
+            return dict(zip(methods, results))
+        from ..store import decode_method_result
+
+        digests = [
+            self._cell_digest(m, {**kwargs, "gamma": gamma}) for m in methods
+        ]
+        missing = [
+            m for m, d in zip(methods, digests) if not ledger.contains(d)
+        ]
+        get_executor(workers).map(
+            _run_method_task, missing, state=(self, gamma, kwargs)
         )
-        return dict(zip(methods, results))
+        return {
+            m: decode_method_result(_ledger_fetch(ledger, d).payload)
+            for m, d in zip(methods, digests)
+        }
 
     def gamma_sweep(
         self, gammas, *, method: str = "pfr", workers=None, **kwargs
@@ -472,12 +692,33 @@ class ExperimentHarness:
         ``workers`` set, γ points fan out across processes; each worker
         rebuilds the plan once and sweeps its share of the points against
         it, and the results are bitwise identical to a serial sweep.
+
+        With a ``store``, completed γ points are skipped before dispatch —
+        an interrupted sweep resumes at the missing cells, and widening
+        the grid re-pays only the new γ values.
         """
         self.prepare()
         gammas = [float(g) for g in gammas]
-        return get_executor(workers).map(
-            _gamma_sweep_task, gammas, state=(self, method, kwargs)
+        ledger = self._ledger()
+        if ledger is None:
+            return get_executor(workers).map(
+                _gamma_sweep_task, gammas, state=(self, method, kwargs)
+            )
+        from ..store import decode_method_result
+
+        digests = [
+            self._cell_digest(method, {**kwargs, "gamma": g}) for g in gammas
+        ]
+        missing = [
+            g for g, d in zip(gammas, digests) if not ledger.contains(d)
+        ]
+        get_executor(workers).map(
+            _gamma_sweep_task, missing, state=(self, method, kwargs)
         )
+        return [
+            decode_method_result(_ledger_fetch(ledger, d).payload)
+            for d in digests
+        ]
 
     # -- hyper-parameter tuning (the paper's 5-fold grid search) -----------
 
@@ -508,9 +749,33 @@ class ExperimentHarness:
         # largest — reuses each fold's graphs/Laplacians/projections.
         self._tune_plan_cache = {}
         grid_points = [dict(params) for params in ParameterGrid(param_grid)]
-        mean_scores = get_executor(workers).map(
-            _tune_grid_task, grid_points, state=(self, method, n_splits, scoring)
-        )
+        ledger = self._ledger()
+        if ledger is None:
+            mean_scores = get_executor(workers).map(
+                _tune_grid_task, grid_points,
+                state=(self, method, n_splits, scoring),
+            )
+        else:
+            # Skip already-ledgered grid points before dispatch, then
+            # rebuild the score vector from ledger queries — a re-run of a
+            # finished (or widened) grid pays only the new points.
+            from ..store import task_digest
+
+            digests = [
+                task_digest(self._grid_point_task(method, p, n_splits, scoring))
+                for p in grid_points
+            ]
+            missing = [
+                p for p, d in zip(grid_points, digests)
+                if not ledger.contains(d)
+            ]
+            get_executor(workers).map(
+                _tune_grid_task, missing, state=(self, method, n_splits, scoring)
+            )
+            mean_scores = [
+                float(_ledger_fetch(ledger, d).payload["mean_score"])
+                for d in digests
+            ]
         results = []
         best = {"best_params": None, "best_score": -np.inf}
         for params, mean_score in zip(grid_points, mean_scores):
@@ -527,10 +792,44 @@ class ExperimentHarness:
         best["results"] = results
         return best
 
+    def _grid_point_task(
+        self, method: str, params: dict, n_splits: int, scoring: str
+    ) -> dict:
+        return {
+            "kind": "tuned_point",
+            "harness": self.task_fingerprint(),
+            "method": str(method),
+            "params": dict(params),
+            "n_splits": int(n_splits),
+            "scoring": str(scoring),
+        }
+
     def _score_grid_point(
         self, method: str, params: dict, *, n_splits: int, scoring: str
     ) -> float:
-        """Mean cross-validation score of one grid point (all folds)."""
+        """Mean cross-validation score of one grid point (all folds).
+
+        Read-through/write-through the run ledger when a ``store`` is
+        configured, at grid-point granularity (a point's fold scores are
+        one unit of work).
+        """
+        ledger = self._ledger()
+        task = None
+        if ledger is not None:
+            task = self._grid_point_task(method, params, n_splits, scoring)
+            entry = ledger.get_task(task)
+            if entry is not None:
+                return float(entry.payload["mean_score"])
+        score = self._score_grid_point_direct(
+            method, params, n_splits=n_splits, scoring=scoring
+        )
+        if ledger is not None:
+            ledger.put(task, {"mean_score": score})
+        return score
+
+    def _score_grid_point_direct(
+        self, method: str, params: dict, *, n_splits: int, scoring: str
+    ) -> float:
         params = dict(params)
         C = params.pop("C", 1.0)
         gamma = params.pop("gamma", 0.5)

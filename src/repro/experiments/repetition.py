@@ -136,6 +136,20 @@ def _repeat_sweep_task(state, task):
     return harness.gamma_sweep(gammas, method=method, **method_params)
 
 
+def _harness_kwargs(harness_kwargs: dict | None, store) -> dict:
+    """Merge an explicit ``store`` into the per-seed harness kwargs.
+
+    A ledger is just a root path, so it pickles with the executor state
+    and every worker's harness writes through to the same on-disk store —
+    which is what makes a killed multi-seed run resumable at cell
+    granularity.
+    """
+    kwargs = dict(harness_kwargs or {})
+    if store is not None:
+        kwargs["store"] = store
+    return kwargs
+
+
 def _seed_tasks(dataset_factory, seeds) -> list:
     """Materialize per-seed datasets in the parent, in seed order.
 
@@ -155,6 +169,7 @@ def repeat_method(
     gamma: float = 0.5,
     harness_kwargs: dict | None = None,
     workers=None,
+    store=None,
     **method_params,
 ) -> AggregateResult:
     """Run one method across seeds and aggregate.
@@ -177,9 +192,13 @@ def repeat_method(
     workers:
         Fan seeds out across processes (``None`` = serial); results are
         bitwise identical either way.
+    store:
+        Run-ledger directory or :class:`~repro.store.RunLedger`; every
+        per-seed cell is read-through/written-through the ledger, so a
+        killed repetition resumes at the missing seeds' cells.
     """
     seeds = _normalize_seeds(seeds)
-    state = (method, gamma, dict(harness_kwargs or {}), method_params)
+    state = (method, gamma, _harness_kwargs(harness_kwargs, store), method_params)
     results = get_executor(workers).map(
         _repeat_method_task, _seed_tasks(dataset_factory, seeds), state=state
     )
@@ -194,6 +213,7 @@ def repeat_gamma_sweep(
     seeds=(0, 1, 2),
     harness_kwargs: dict | None = None,
     workers=None,
+    store=None,
     **method_params,
 ) -> dict:
     """Error-barred γ-sweep: Figures 4/7/10 with mean ± std per γ.
@@ -215,7 +235,10 @@ def repeat_gamma_sweep(
         # per-γ aggregation keys on the value; duplicates would silently
         # merge and double-count n_runs.
         raise ValidationError(f"gammas contains duplicates: {gammas}")
-    state = (tuple(gammas), method, dict(harness_kwargs or {}), method_params)
+    state = (
+        tuple(gammas), method, _harness_kwargs(harness_kwargs, store),
+        method_params,
+    )
     sweeps = get_executor(workers).map(
         _repeat_sweep_task, _seed_tasks(dataset_factory, seeds), state=state
     )
@@ -233,11 +256,12 @@ def repeat_methods(
     gamma: float = 0.5,
     harness_kwargs: dict | None = None,
     workers=None,
+    store=None,
 ) -> dict:
     """Aggregate several methods on the same per-seed datasets and splits."""
     seeds = _normalize_seeds(seeds)
     methods = tuple(methods)
-    state = (methods, gamma, dict(harness_kwargs or {}))
+    state = (methods, gamma, _harness_kwargs(harness_kwargs, store))
     per_seed = get_executor(workers).map(
         _repeat_methods_task, _seed_tasks(dataset_factory, seeds), state=state
     )

@@ -1,0 +1,481 @@
+"""Declarative run specs: a whole scenario matrix as one document.
+
+A :class:`RunSpec` expresses the paper's experiment grids — datasets ×
+methods × γ values × seeds — as data (a dataclass, loadable from YAML or
+JSON), and :func:`run_spec` compiles it into the flat cell list the
+PR-4 :class:`~repro.experiments.parallel.Executor` fans out. Every cell is
+keyed by its content-addressed task digest in a
+:class:`~repro.store.RunLedger`, and completed digests are skipped
+*before* dispatch, which buys three properties for free:
+
+* **resume** — re-running the spec after an interruption recomputes only
+  the cells the crash lost;
+* **incremental extension** — widening the γ grid, adding a seed or a
+  method re-pays only the new cells;
+* **deduplication** — two specs sharing cells (same dataset content, same
+  parameters) share ledger entries.
+
+Aggregates (mean ± std across seeds) are rebuilt from ledger queries, so
+an interrupted-and-resumed run is bitwise identical to an uninterrupted
+one, serial or parallel.
+
+Example spec (YAML)::
+
+    name: compas-gamma-sweep
+    datasets:
+      - {name: compas, scale: 0.25}
+    methods: [original, pfr]
+    gammas: [0.0, 0.5, 1.0]
+    seeds: [0, 1, 2]
+    harness: {n_components: 3}
+    method_params:
+      pfr: {C: 1.0}
+
+Run it with ``repro experiments run spec.yaml --store DIR`` or
+:func:`run_spec`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..exceptions import ValidationError
+from ..store import RunLedger, coerce_ledger, decode_method_result, task_digest
+from .builders import WorkloadFactory
+from .harness import ExperimentHarness, cell_task
+from .parallel import get_executor, spawn_seeds
+from .repetition import _collect
+
+__all__ = ["RunSpec", "RunReport", "load_run_spec", "run_spec"]
+
+#: Harness constructor knobs a spec may set (the split/graph/representation
+#: configuration). ``seed`` is excluded — it comes from the spec's seed
+#: axis — and ``store``/``workers`` are runtime arguments, not scenario
+#: parameters.
+_HARNESS_KEYS = frozenset(
+    {
+        "test_size",
+        "n_quantiles",
+        "rating_resolution",
+        "n_neighbors",
+        "n_components",
+        "landmarks",
+        "landmark_strategy",
+        "method_overrides",
+    }
+)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One declarative scenario matrix: datasets × methods × γ × seeds.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, recorded in the report.
+    datasets:
+        Tuple of ``(workload_name, scale)`` pairs.
+    methods:
+        Harness method names (``pfr``, ``original+``, ...).
+    gammas:
+        γ grid applied to every method (methods that ignore γ simply key
+        their cells on it).
+    seeds:
+        Explicit seed tuple; each seeds the dataset draw *and* the
+        harness split, exactly like :func:`~repro.experiments.repeat_methods`.
+    harness:
+        Extra :class:`~repro.experiments.ExperimentHarness` constructor
+        arguments applied to every cell (validated against the known
+        knobs).
+    method_params:
+        Per-method keyword arguments (may include the classifier ``C``),
+        e.g. ``{"pfr": {"C": 10.0}}``.
+    """
+
+    name: str
+    datasets: tuple
+    methods: tuple
+    gammas: tuple
+    seeds: tuple
+    harness: dict = field(default_factory=dict)
+    method_params: dict = field(default_factory=dict)
+
+    @property
+    def n_cells(self) -> int:
+        """Total cells in the matrix."""
+        return (
+            len(self.datasets) * len(self.methods)
+            * len(self.gammas) * len(self.seeds)
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        """Validate and normalize a plain-dict (YAML/JSON) spec."""
+        if not isinstance(data, dict):
+            raise ValidationError(
+                f"a run spec must be a mapping; got {type(data).__name__}"
+            )
+        known = {
+            "name", "datasets", "methods", "gammas", "seeds", "harness",
+            "method_params",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValidationError(
+                f"unknown run-spec fields {unknown}; known: {sorted(known)}"
+            )
+
+        name = str(data.get("name", "run"))
+
+        raw_datasets = data.get("datasets")
+        if not raw_datasets:
+            raise ValidationError("run spec needs a non-empty 'datasets' list")
+        datasets = []
+        for item in raw_datasets:
+            if isinstance(item, str):
+                item = {"name": item}
+            if not isinstance(item, dict) or "name" not in item:
+                raise ValidationError(
+                    "each dataset must be a workload name or a "
+                    "{name, scale} mapping"
+                )
+            extra = sorted(set(item) - {"name", "scale"})
+            if extra:
+                raise ValidationError(
+                    f"unknown dataset fields {extra}; known: ['name', 'scale']"
+                )
+            scale = float(item.get("scale", 1.0))
+            # WorkloadFactory validates the name (and pins the scale range
+            # check to one place).
+            WorkloadFactory(str(item["name"]), scale=scale)
+            datasets.append((str(item["name"]), scale))
+        names = [name for name, _scale in datasets]
+        if len(set(names)) != len(names):
+            # The report keys results by dataset *name*; two entries for
+            # one workload (e.g. two scales) would silently collapse into
+            # a single row. Express that as two specs instead.
+            raise ValidationError(f"datasets contains duplicates: {names}")
+
+        methods = tuple(str(m) for m in data.get("methods") or ())
+        if not methods:
+            raise ValidationError("run spec needs a non-empty 'methods' list")
+        if len(set(methods)) != len(methods):
+            raise ValidationError(f"methods contains duplicates: {list(methods)}")
+
+        gammas = tuple(float(g) for g in data.get("gammas", (0.5,)))
+        if not gammas:
+            raise ValidationError("run spec needs at least one gamma")
+        if len(set(gammas)) != len(gammas):
+            raise ValidationError(f"gammas contains duplicates: {list(gammas)}")
+
+        raw_seeds = data.get("seeds", (0,))
+        if isinstance(raw_seeds, int):
+            if raw_seeds < 1:
+                raise ValidationError(
+                    f"seeds count must be >= 1; got {raw_seeds}"
+                )
+            seeds = spawn_seeds(0, raw_seeds)
+        elif isinstance(raw_seeds, dict):
+            extra = sorted(set(raw_seeds) - {"count", "root"})
+            if extra:
+                raise ValidationError(
+                    f"unknown seeds fields {extra}; known: ['count', 'root']"
+                )
+            count = int(raw_seeds.get("count", 0))
+            if count < 1:
+                raise ValidationError(f"seeds count must be >= 1; got {count}")
+            seeds = spawn_seeds(int(raw_seeds.get("root", 0)), count)
+        else:
+            seeds = tuple(int(s) for s in raw_seeds)
+        if not seeds:
+            raise ValidationError("run spec needs at least one seed")
+        if len(set(seeds)) != len(seeds):
+            raise ValidationError(f"seeds contains duplicates: {list(seeds)}")
+
+        harness = dict(data.get("harness") or {})
+        bad = sorted(set(harness) - _HARNESS_KEYS)
+        if bad:
+            raise ValidationError(
+                f"unknown harness fields {bad}; known: {sorted(_HARNESS_KEYS)}"
+            )
+
+        method_params = {
+            str(method): dict(params)
+            for method, params in (data.get("method_params") or {}).items()
+        }
+        for method, params in method_params.items():
+            if method not in methods:
+                raise ValidationError(
+                    f"method_params names {method!r} which is not in methods "
+                    f"{list(methods)}"
+                )
+            # γ is a spec axis, not a per-method parameter; letting it
+            # through would explode deep in a worker with a confusing
+            # "multiple values for keyword argument" TypeError.
+            reserved = sorted({"gamma", "workers", "store"} & set(params))
+            if reserved:
+                raise ValidationError(
+                    f"method_params[{method!r}] may not set {reserved}; "
+                    "gamma is the spec's 'gammas' axis and workers/store "
+                    "are runtime arguments"
+                )
+
+        return cls(
+            name=name,
+            datasets=tuple(datasets),
+            methods=methods,
+            gammas=gammas,
+            seeds=seeds,
+            harness=harness,
+            method_params=method_params,
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-dict view (round-trips through :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "datasets": [
+                {"name": name, "scale": scale} for name, scale in self.datasets
+            ],
+            "methods": list(self.methods),
+            "gammas": list(self.gammas),
+            "seeds": list(self.seeds),
+            "harness": dict(self.harness),
+            "method_params": {
+                method: dict(params)
+                for method, params in self.method_params.items()
+            },
+        }
+
+
+def load_run_spec(path) -> RunSpec:
+    """Load a :class:`RunSpec` from a YAML or JSON file.
+
+    ``.json`` files parse with the stdlib; anything else goes through
+    PyYAML when available (YAML is a superset of JSON, so a JSON document
+    under a ``.yaml`` name still loads). Without PyYAML, non-JSON files
+    fall back to a JSON parse and fail with a clear message.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise ValidationError(f"run spec not found: {path}")
+    text = path.read_text(encoding="utf-8")
+    if path.suffix.lower() == ".json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"invalid JSON in {path}: {exc}") from exc
+        return RunSpec.from_dict(data)
+    try:
+        import yaml
+    except ImportError:  # pragma: no cover - PyYAML is in the base image
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(
+                f"cannot parse {path}: PyYAML is not installed and the file "
+                f"is not valid JSON ({exc})"
+            ) from exc
+        return RunSpec.from_dict(data)
+    try:
+        data = yaml.safe_load(text)
+    except yaml.YAMLError as exc:
+        raise ValidationError(f"invalid YAML in {path}: {exc}") from exc
+    return RunSpec.from_dict(data)
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """What one :func:`run_spec` invocation did, rebuilt from the ledger.
+
+    Attributes
+    ----------
+    spec:
+        The spec that ran.
+    cells:
+        One dict per cell — ``dataset``, ``scale``, ``seed``, ``method``,
+        ``gamma``, ``digest``, and ``cached`` (True when the cell was
+        already in the ledger before this run) — in deterministic matrix
+        order.
+    results:
+        ``{(dataset, method, gamma, seed): MethodResult}`` decoded from
+        the ledger.
+    aggregates:
+        ``{(dataset, method, gamma): AggregateResult}`` across seeds
+        (present when the spec has ≥ 2 seeds).
+    """
+
+    spec: RunSpec
+    cells: list
+    results: dict = field(repr=False)
+    aggregates: dict = field(repr=False)
+
+    @property
+    def n_total(self) -> int:
+        return len(self.cells)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for cell in self.cells if cell["cached"])
+
+    @property
+    def n_computed(self) -> int:
+        return self.n_total - self.n_cached
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cells served from the ledger (0.0 on an empty spec)."""
+        return self.n_cached / self.n_total if self.cells else 0.0
+
+    def to_json(self) -> dict:
+        """Machine-readable summary (what ``--json`` prints)."""
+        aggregates = {}
+        for (dataset, method, gamma), agg in self.aggregates.items():
+            key = f"{dataset}/{method}/gamma={gamma:g}"
+            aggregates[key] = {
+                "n_runs": agg.n_runs,
+                "mean": agg.mean,
+                "std": agg.std,
+            }
+        return {
+            "name": self.spec.name,
+            "total": self.n_total,
+            "cached": self.n_cached,
+            "computed": self.n_computed,
+            "hit_rate": self.hit_rate,
+            "cells": self.cells,
+            "aggregates": aggregates,
+        }
+
+
+# -- executor task function (module-level for process-backend pickling) ----
+
+def _spec_cell_task(state, task):
+    """Run one cell; harnesses are rebuilt lazily, once per slice.
+
+    ``state`` ships only the harness kwargs and the ledger (a root path) —
+    never materialized datasets — so a worker pays for exactly the
+    dataset × seed slices it executes, rebuilding each deterministically
+    from its :class:`~repro.experiments.WorkloadFactory` and caching the
+    prepared harness in its own copy of ``state`` so every later cell on
+    the same slice reuses the staged fit plans.
+    """
+    dataset_name, scale, seed, method, gamma, C, params = task
+    key = (dataset_name, scale, seed)
+    harness = state["harnesses"].get(key)
+    if harness is None:
+        harness = ExperimentHarness(
+            WorkloadFactory(dataset_name, scale=scale)(seed),
+            seed=seed, store=state["store"], **state["harness_kwargs"],
+        )
+        state["harnesses"][key] = harness
+    return harness.run_method(method, gamma=gamma, C=C, **params)
+
+
+def run_spec(spec: RunSpec, *, store, workers=None) -> RunReport:
+    """Execute a :class:`RunSpec` through a run ledger.
+
+    Compiles the matrix to cells, skips every digest already in the
+    ledger, fans the missing cells out through the PR-4 executor (workers
+    rebuild each dataset × seed slice's harness lazily from its workload
+    factory and reuse it for every cell of that slice, so the staged-fit
+    γ amortization survives the fan-out without shipping datasets), and
+    rebuilds results and aggregates from ledger queries. Serial and
+    parallel runs — and interrupted-then-resumed runs — are bitwise
+    identical.
+
+    Parameters
+    ----------
+    spec:
+        The scenario matrix (see :class:`RunSpec` / :func:`load_run_spec`).
+    store:
+        Ledger directory or :class:`~repro.store.RunLedger` (required —
+        the ledger is what makes the spec resumable).
+    workers:
+        Process fan-out for the missing cells (``None`` = serial).
+    """
+    ledger = coerce_ledger(store)
+    if not isinstance(ledger, RunLedger):
+        raise ValidationError("run_spec requires a store (directory or RunLedger)")
+
+    # Materialize each dataset × seed slice once in the parent, only to
+    # compute its (small) task fingerprint — the dataset itself is dropped
+    # immediately, so parent memory peaks at one dataset regardless of the
+    # matrix size. Workers likewise rebuild their own slices lazily from
+    # the picklable factory arguments; datasets are never shipped.
+    fingerprints = {}
+    for dataset_name, scale in spec.datasets:
+        factory = WorkloadFactory(dataset_name, scale=scale)
+        for seed in spec.seeds:
+            harness = ExperimentHarness(
+                factory(seed), seed=seed, **spec.harness
+            )
+            fingerprints[(dataset_name, scale, seed)] = (
+                harness.task_fingerprint()
+            )
+            del harness
+
+    cells = []
+    pending = []
+    for dataset_name, scale in spec.datasets:
+        for method in spec.methods:
+            params = dict(spec.method_params.get(method, {}))
+            C = float(params.pop("C", 1.0))
+            for gamma in spec.gammas:
+                for seed in spec.seeds:
+                    key = (dataset_name, scale, seed)
+                    digest = task_digest(
+                        cell_task(fingerprints[key], method, gamma, C, params)
+                    )
+                    cached = ledger.contains(digest)
+                    cells.append(
+                        {
+                            "dataset": dataset_name,
+                            "scale": scale,
+                            "seed": seed,
+                            "method": method,
+                            "gamma": gamma,
+                            "digest": digest,
+                            "cached": cached,
+                        }
+                    )
+                    if not cached:
+                        pending.append(
+                            (dataset_name, scale, seed, method, gamma, C,
+                             params)
+                        )
+
+    state = {"harnesses": {}, "store": ledger, "harness_kwargs": spec.harness}
+    get_executor(workers).map(_spec_cell_task, pending, state=state)
+
+    results = {}
+    for cell in cells:
+        entry = ledger.get(cell["digest"])
+        if entry is None:  # pragma: no cover - a worker died before writing
+            raise ValidationError(
+                f"cell {cell['dataset']}/{cell['method']}/gamma="
+                f"{cell['gamma']:g}/seed={cell['seed']} is missing from the "
+                "ledger after execution; re-run the spec to resume"
+            )
+        results[
+            (cell["dataset"], cell["method"], cell["gamma"], cell["seed"])
+        ] = decode_method_result(entry.payload)
+
+    aggregates = {}
+    if len(spec.seeds) > 1:
+        for dataset_name, _scale in spec.datasets:
+            for method in spec.methods:
+                for gamma in spec.gammas:
+                    aggregates[(dataset_name, method, gamma)] = _collect(
+                        [
+                            results[(dataset_name, method, gamma, seed)]
+                            for seed in spec.seeds
+                        ]
+                    )
+
+    return RunReport(
+        spec=spec, cells=cells, results=results, aggregates=aggregates
+    )

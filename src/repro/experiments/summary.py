@@ -32,13 +32,20 @@ def workload_report(
     scale: float = 1.0,
     seed: int = 0,
     gammas=(0.0, 0.25, 0.5, 0.75, 1.0),
+    store=None,
 ) -> str:
-    """Full §4-style report for one workload, rendered as text."""
+    """Full §4-style report for one workload, rendered as text.
+
+    ``store`` routes every method comparison and γ-frontier cell through
+    the content-addressed run ledger (:mod:`repro.store`), so the report's
+    tables are rebuilt from ledger queries — regenerating a report over a
+    populated ledger decodes instead of refitting.
+    """
     if dataset_name not in _METHODS:
         raise ValidationError(
             f"unknown dataset {dataset_name!r}; use synthetic, crime or compas"
         )
-    harness = _harness(dataset_name, seed=seed, scale=scale)
+    harness = _harness(dataset_name, seed=seed, scale=scale, store=store)
     harness.prepare()
     data = harness.dataset
 

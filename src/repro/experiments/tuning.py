@@ -64,6 +64,7 @@ def tune_methods(
     n_splits: int = 5,
     scoring: str = "roc_auc",
     workers=None,
+    store=None,
 ) -> dict:
     """Grid-search every method on the harness's training split.
 
@@ -83,6 +84,12 @@ def tune_methods(
         = serial; an int, ``"auto"``, or an
         :class:`~repro.experiments.parallel.Executor`). Tuned operating
         points are bitwise identical either way.
+    store:
+        Run-ledger directory or :class:`~repro.store.RunLedger` used for
+        this search only (the harness's own ``store`` is restored
+        afterwards): every grid point is read-through/written-through the
+        ledger, so a killed search resumes at the missing points and a
+        widened grid pays only its new points.
 
     Returns
     -------
@@ -92,11 +99,18 @@ def tune_methods(
     harness.prepare()
     grids = grids or {}
     out = {}
-    for method in methods:
-        grid = grids.get(method, default_grid(method))
-        out[method] = harness.tune(
-            method, grid, n_splits=n_splits, scoring=scoring, workers=workers
-        )
+    previous_store = harness.store
+    if store is not None:
+        harness.store = store
+    try:
+        for method in methods:
+            grid = grids.get(method, default_grid(method))
+            out[method] = harness.tune(
+                method, grid, n_splits=n_splits, scoring=scoring,
+                workers=workers,
+            )
+    finally:
+        harness.store = previous_store
     return out
 
 

@@ -24,6 +24,8 @@ model registry (:mod:`repro.serving.registry`) builds on this guarantee.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import zipfile
 from pathlib import Path
 
@@ -43,6 +45,37 @@ from .exceptions import ValidationError
 from .ml import LogisticRegression, StandardScaler
 
 __all__ = ["save_model", "load_model", "read_header", "supported_model_types"]
+
+
+def atomic_write(path, write, *, mode: str = "wb") -> None:
+    """Crash-safe file write: temp file in the target directory + rename.
+
+    ``write(handle)`` receives the open temp-file handle; on success the
+    temp file is atomically renamed over ``path`` (same-filesystem rename,
+    atomic on POSIX), so a crash at any point leaves either the previous
+    file or no file — never a truncated one. The single implementation
+    behind every durable artifact in the library: model archives (here),
+    registry manifests (:mod:`repro.serving.registry`), and run-ledger
+    entries (:mod:`repro.store.ledger`).
+    """
+    path = Path(path)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}-", suffix=".tmp"
+    )
+    try:
+        # mkstemp creates 0600 files; the rename preserves that, which
+        # would make shared ledgers/registries owner-only. Widen to the
+        # umask-honoring default a plain open() would have produced.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.fchmod(fd, 0o666 & ~umask)
+        with os.fdopen(fd, mode) as handle:
+            write(handle)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
 
 # Format 2 == format 1 plus the mandatory ``library_version`` stamp.
 _FORMAT_VERSION = 2
@@ -232,9 +265,12 @@ def save_model(model, path) -> Path:
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
-    np.savez(path, header=np.frombuffer(
+    # Crash-safe: savez into the atomic-write temp handle (a file object,
+    # because np.savez would append ``.npz`` to a bare temp *name*,
+    # orphaning the artifact under a different path).
+    atomic_write(path, lambda handle: np.savez(handle, header=np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8
-    ), **arrays)
+    ), **arrays))
     return path
 
 

@@ -30,9 +30,7 @@ from __future__ import annotations
 
 import contextlib
 import json
-import os
 import re
-import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
@@ -47,7 +45,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 
 from .._version import __version__
 from ..exceptions import NotFittedError, ValidationError
-from ..io import _jsonable_params, load_model, save_model
+from ..io import _jsonable_params, atomic_write, load_model, save_model
 
 __all__ = ["ModelRecord", "ModelRegistry"]
 
@@ -230,6 +228,30 @@ class ModelRegistry:
                 self._write_manifest(model_dir, manifest)
             return record
 
+    def register_from_ledger(
+        self, ledger, digest: str, name: str, *, promote: bool = True
+    ) -> ModelRecord:
+        """Promote a run-ledger model entry straight into serving.
+
+        ``ledger`` is a :class:`~repro.store.RunLedger` (or a store root
+        path) and ``digest`` a ledger entry written with a model blob —
+        e.g. by :meth:`repro.experiments.ExperimentHarness.export_model`.
+        The blob is deserialized through :mod:`repro.io` and registered as
+        the next version of ``name``; the resulting manifest carries the
+        fit plan's stage digests exactly as a hand-registered artifact
+        would, so experiment → serving promotion is this one call.
+        """
+        from ..store import coerce_ledger
+
+        ledger = coerce_ledger(ledger)
+        if ledger is None:
+            raise ValidationError(
+                "register_from_ledger needs a run ledger (directory or "
+                "RunLedger)"
+            )
+        model = ledger.load_model(digest)
+        return self.register(name, model, promote=promote)
+
     def promote(self, name: str, version: int) -> ModelRecord:
         """Point ``name@latest`` at an existing ``version`` (e.g. rollback)."""
         with self._lock:
@@ -399,18 +421,11 @@ class ModelRegistry:
     @staticmethod
     def _write_manifest(model_dir: Path, manifest: dict) -> None:
         # Atomic replace so a concurrent reader never sees a torn manifest.
-        fd, tmp_path = tempfile.mkstemp(
-            dir=model_dir, prefix=".manifest-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(manifest, handle, indent=2, sort_keys=True)
-                handle.write("\n")
-            os.replace(tmp_path, model_dir / _MANIFEST)
-        except BaseException:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
-            raise
+        def write(handle):
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+        atomic_write(model_dir / _MANIFEST, write, mode="w")
 
 
 def _jsonable(params: dict) -> dict:

@@ -1,0 +1,41 @@
+"""Content-addressed run ledger: resumable, incremental experiment storage.
+
+``repro.store`` persists every completed experiment cell — method
+evaluations, sweep points, tuned grid scores, fitted model artifacts —
+under the SHA-256 digest of a canonical task descriptor. The experiments
+layer reads and writes through a :class:`RunLedger`
+(``ExperimentHarness(..., store=...)``, the ``repeat_*`` functions, and
+the spec runner :func:`repro.experiments.run_spec`), which makes any
+interrupted sweep resumable and any finished grid extensible at the cost
+of only the new cells. See the README's "Resumable experiments & the run
+ledger" section for the workflow.
+"""
+
+from .digests import (
+    array_digest,
+    canonical_json,
+    dataset_fingerprint,
+    task_digest,
+)
+from .codecs import (
+    decode_group_rates,
+    decode_method_result,
+    encode_group_rates,
+    encode_method_result,
+)
+from .ledger import LedgerEntry, RunLedger, coerce_ledger, default_store_root
+
+__all__ = [
+    "RunLedger",
+    "LedgerEntry",
+    "coerce_ledger",
+    "default_store_root",
+    "task_digest",
+    "canonical_json",
+    "array_digest",
+    "dataset_fingerprint",
+    "encode_method_result",
+    "decode_method_result",
+    "encode_group_rates",
+    "decode_group_rates",
+]

@@ -1,0 +1,132 @@
+"""JSON codecs for the experiment result types the ledger persists.
+
+The ledger stores payloads as JSON, so every result type needs a lossless
+round-trip: ``decode(encode(x))`` must reproduce *exactly* the numbers of
+``x``. Python's ``json`` serializes floats via ``repr``, which round-trips
+every finite float64 bit-for-bit (and ``NaN``/``Infinity`` are emitted in
+the non-strict default mode), so float exactness is free; the work here is
+the *keys* — :class:`~repro.metrics.group.GroupRates` and ``auc_by_group``
+are keyed by protected-group values that may be ints, floats or strings,
+and JSON object keys are always strings. Keys are therefore stored as
+``[tag, value]`` pairs (``"i"``/``"f"``/``"s"``/``"b"``) so the decoded
+dicts are indexable exactly like the originals (the figure drivers index
+``rates.positive_rate[0]`` with an *int*).
+
+This exactness is what lets an interrupted run, resumed from the ledger,
+produce aggregates bitwise identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..metrics.group import GroupRates
+
+__all__ = [
+    "encode_method_result",
+    "decode_method_result",
+    "encode_group_rates",
+    "decode_group_rates",
+]
+
+
+def _tag_key(key):
+    if isinstance(key, (bool, np.bool_)):
+        return ["b", bool(key)]
+    if isinstance(key, (int, np.integer)):
+        return ["i", int(key)]
+    if isinstance(key, (float, np.floating)):
+        return ["f", float(key)]
+    if isinstance(key, str):
+        return ["s", key]
+    raise ValidationError(
+        f"cannot encode a {type(key).__name__} group key for the ledger"
+    )
+
+
+def _untag_key(tagged):
+    tag, value = tagged
+    if tag == "b":
+        return bool(value)
+    if tag == "i":
+        return int(value)
+    if tag == "f":
+        return float(value)
+    if tag == "s":
+        return str(value)
+    raise ValidationError(f"unknown key tag {tag!r} in ledger payload")
+
+
+def _encode_keyed(mapping: dict) -> list:
+    """Order-preserving ``[[tagged_key, value], ...]`` view of a dict."""
+    return [[_tag_key(key), value] for key, value in mapping.items()]
+
+
+def _decode_keyed(pairs: list) -> dict:
+    return {_untag_key(tagged): value for tagged, value in pairs}
+
+
+def encode_group_rates(rates: GroupRates) -> dict:
+    """JSON-safe encoding of per-group confusion rates."""
+    groups = list(rates.groups)
+    return {
+        "groups": [_tag_key(group) for group in groups],
+        "positive_rate": [float(rates.positive_rate[g]) for g in groups],
+        "fpr": [float(rates.fpr[g]) for g in groups],
+        "fnr": [float(rates.fnr[g]) for g in groups],
+        "counts": [int(rates.counts[g]) for g in groups],
+    }
+
+
+def decode_group_rates(payload: dict) -> GroupRates:
+    groups = tuple(_untag_key(tagged) for tagged in payload["groups"])
+    return GroupRates(
+        groups=groups,
+        positive_rate=dict(zip(groups, payload["positive_rate"])),
+        fpr=dict(zip(groups, payload["fpr"])),
+        fnr=dict(zip(groups, payload["fnr"])),
+        counts=dict(zip(groups, payload["counts"])),
+    )
+
+
+def encode_method_result(result) -> dict:
+    """JSON-safe encoding of a :class:`~repro.experiments.MethodResult`."""
+    extras = {}
+    for key, value in result.extras.items():
+        if isinstance(value, (np.integer, np.floating, np.bool_)):
+            value = value.item()
+        if not isinstance(value, (bool, int, float, str, type(None))):
+            raise ValidationError(
+                f"MethodResult extra {key!r} of type {type(value).__name__} "
+                "cannot be persisted to the ledger"
+            )
+        extras[str(key)] = value
+    return {
+        "method": result.method,
+        "dataset": result.dataset,
+        "auc": float(result.auc),
+        "consistency_wx": float(result.consistency_wx),
+        "consistency_wf": float(result.consistency_wf),
+        "rates": encode_group_rates(result.rates),
+        "auc_by_group": _encode_keyed(
+            {key: float(value) for key, value in result.auc_by_group.items()}
+        ),
+        "extras": extras,
+    }
+
+
+def decode_method_result(payload: dict):
+    """Rebuild a :class:`~repro.experiments.MethodResult` from its encoding."""
+    from ..experiments.harness import MethodResult
+
+    return MethodResult(
+        method=payload["method"],
+        dataset=payload["dataset"],
+        auc=payload["auc"],
+        consistency_wx=payload["consistency_wx"],
+        consistency_wf=payload["consistency_wf"],
+        rates=decode_group_rates(payload["rates"]),
+        auc_by_group=_decode_keyed(payload["auc_by_group"]),
+        extras=dict(payload.get("extras", {})),
+    )

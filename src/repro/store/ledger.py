@@ -1,0 +1,353 @@
+"""Content-addressed, on-disk run ledger.
+
+The ledger is the persistence substrate of every sweep, tuning grid and
+cross-seed repetition: each completed cell (one
+:class:`~repro.experiments.MethodResult`, one tuned grid point, one fitted
+model artifact) is stored under the SHA-256 digest of its canonical task
+descriptor (:func:`~repro.store.digests.task_digest`). Because the digest
+is a pure function of the task, the ledger needs no coordination at all:
+
+* **Resume is free** — an interrupted run re-derives the same digests and
+  skips every cell already on disk.
+* **Incremental extension is free** — adding one γ to a finished grid
+  produces new digests only for the new cells.
+* **Concurrent writers are safe** — two processes computing the same
+  digest write byte-identical content; writes go to a temp file in the
+  same directory followed by ``os.replace``, so readers never observe a
+  torn entry and the losing writer's replace is a no-op.
+
+Layout::
+
+    <root>/
+        objects/<aa>/<digest>.json   # entry: task + payload (+ metadata)
+        models/<aa>/<digest>.npz     # optional fitted-estimator blob
+                                     # (written by repro.io.save_model)
+
+Entries are self-describing — there is no index file to corrupt or lock;
+``ls`` walks the object tree, ``verify`` re-derives each digest from the
+stored task and flags mismatches, and ``gc`` removes stray temp files,
+orphaned model blobs, and (with filters) whole entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .._version import __version__
+from ..exceptions import ValidationError
+from ..io import atomic_write, load_model, read_header, save_model
+from .digests import task_digest
+
+__all__ = ["LedgerEntry", "RunLedger", "default_store_root"]
+
+_OBJECTS = "objects"
+_MODELS = "models"
+
+
+def default_store_root() -> Path:
+    """Ledger location: ``$REPRO_STORE`` or ``~/.repro/store``."""
+    root = os.environ.get("REPRO_STORE")
+    if root:
+        return Path(root)
+    return Path.home() / ".repro" / "store"
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One persisted run cell, as stored under its content address."""
+
+    digest: str
+    kind: str
+    task: dict = field(repr=False)
+    payload: dict = field(repr=False)
+    created_at: float = 0.0
+    library_version: str = ""
+    has_model: bool = False
+    path: str = ""
+
+
+class RunLedger:
+    """Content-addressed run ledger rooted at a directory.
+
+    Instances are cheap (a path plus nothing else) and picklable, so a
+    ledger travels to worker processes with the task state and every
+    worker writes through to the same store. All operations are safe
+    under concurrent readers and writers — see the module docstring.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({str(self.root)!r})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, RunLedger) and self.root == other.root
+
+    # ------------------------------------------------------------- paths
+    def _object_path(self, digest: str) -> Path:
+        return self.root / _OBJECTS / digest[:2] / f"{digest}.json"
+
+    def model_path(self, digest: str) -> Path:
+        """Path of the model blob attached to ``digest`` (may not exist)."""
+        return self.root / _MODELS / digest[:2] / f"{digest}.npz"
+
+    # --------------------------------------------------------- write API
+    def put(self, task: dict, payload: dict, *, model=None) -> LedgerEntry:
+        """Persist one completed cell; returns its :class:`LedgerEntry`.
+
+        ``task`` is the canonical descriptor (must carry ``"kind"``) that
+        keys the entry; ``payload`` is the JSON-safe result. ``model``, if
+        given, is a fitted estimator persisted alongside the entry through
+        :func:`repro.io.save_model` — the blob a
+        :meth:`~repro.serving.ModelRegistry.register_from_ledger` call
+        promotes into serving.
+        """
+        if not isinstance(payload, dict):
+            raise ValidationError(
+                f"ledger payloads must be dicts; got {type(payload).__name__}"
+            )
+        digest = task_digest(task)
+        path = self._object_path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if model is not None:
+            model_file = self.model_path(digest)
+            model_file.parent.mkdir(parents=True, exist_ok=True)
+            save_model(model, model_file)
+        entry = {
+            "digest": digest,
+            "kind": str(task["kind"]),
+            "task": task,
+            "payload": payload,
+            "created_at": time.time(),
+            "library_version": __version__,
+            "has_model": model is not None,
+        }
+        text = json.dumps(entry, sort_keys=True, allow_nan=True) + "\n"
+        atomic_write(path, lambda handle: handle.write(text), mode="w")
+        return self._entry_from_dict(entry, path)
+
+    # ---------------------------------------------------------- read API
+    def contains(self, digest: str) -> bool:
+        """Whether an entry for ``digest`` is on disk."""
+        return self._object_path(digest).is_file()
+
+    def get(self, digest: str) -> LedgerEntry | None:
+        """The entry stored under ``digest``, or ``None`` if absent."""
+        path = self._object_path(digest)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(
+                f"corrupt ledger entry {path}: {exc}; "
+                "run `repro store verify` / `repro store gc`"
+            ) from exc
+        return self._entry_from_dict(data, path)
+
+    def get_task(self, task: dict) -> LedgerEntry | None:
+        """Shorthand for ``get(task_digest(task))``."""
+        return self.get(task_digest(task))
+
+    def load_model(self, digest: str):
+        """Deserialize the fitted estimator attached to ``digest``."""
+        entry = self.get(digest)
+        if entry is None:
+            raise ValidationError(f"no ledger entry for digest {digest!r}")
+        if not entry.has_model:
+            raise ValidationError(
+                f"ledger entry {digest[:12]}… ({entry.kind}) carries no "
+                "model artifact"
+            )
+        return load_model(self.model_path(digest))
+
+    def ls(self, *, kind: str | None = None) -> list[LedgerEntry]:
+        """Every readable entry (optionally filtered by kind), oldest first.
+
+        Corrupt object files are skipped — they are unreadable anyway, and
+        raising here would make the maintenance commands (``gc`` by kind,
+        ``repro store ls``) unusable on the very ledgers that need them.
+        :meth:`verify` reports them; :meth:`gc` sweeps them.
+        """
+        entries = []
+        objects = self.root / _OBJECTS
+        if not objects.is_dir():
+            return []
+        for path in sorted(objects.glob("??/*.json")):
+            try:
+                entry = self.get(path.stem)
+            except ValidationError:
+                continue
+            if entry is None:  # pragma: no cover - racing gc
+                continue
+            if kind is not None and entry.kind != kind:
+                continue
+            entries.append(entry)
+        entries.sort(key=lambda e: (e.created_at, e.digest))
+        return entries
+
+    # -------------------------------------------------------- maintenance
+    def gc(
+        self,
+        *,
+        kind: str | None = None,
+        older_than: float | None = None,
+        dry_run: bool = False,
+        orphan_grace: float = 60.0,
+    ) -> dict:
+        """Collect garbage; returns per-category lists of what was removed.
+
+        Always sweeps three kinds of debris: stray ``.tmp`` files (crashed
+        writers), *corrupt* object files (unreadable JSON — in a
+        content-addressed store the content can always be recomputed, so
+        garbage bytes have no value; this is the repair path ``verify``
+        points at), and model blobs with no matching entry. Blob orphan
+        checks skip blobs younger than ``orphan_grace`` seconds —
+        :meth:`put` writes the blob *before* the entry, so a concurrent
+        writer's fresh blob must not be mistaken for an orphan. Healthy
+        entries are removed only when a filter says so: ``kind`` selects a
+        payload kind, ``older_than`` an age in seconds (filters compose
+        with AND). ``dry_run`` reports without touching disk.
+        """
+        removed, orphans, tmp_files, corrupt = [], [], [], []
+        now = time.time()
+        for directory in (self.root / _OBJECTS, self.root / _MODELS):
+            if directory.is_dir():
+                for tmp in directory.glob("**/.*.tmp"):
+                    # The same grace that protects fresh model blobs: a
+                    # young .tmp may be a concurrent atomic_write mid-
+                    # flight, and unlinking it would crash that writer's
+                    # os.replace. Only crashed writers' leftovers age.
+                    try:
+                        if now - tmp.stat().st_mtime < orphan_grace:
+                            continue
+                    except OSError:  # pragma: no cover - racing writer
+                        continue
+                    tmp_files.append(str(tmp))
+                    if not dry_run:
+                        tmp.unlink(missing_ok=True)
+        objects = self.root / _OBJECTS
+        if objects.is_dir():
+            for path in sorted(objects.glob("??/*.json")):
+                try:
+                    json.loads(path.read_text(encoding="utf-8"))
+                except (json.JSONDecodeError, OSError):
+                    corrupt.append(path.stem)
+                    if not dry_run:
+                        path.unlink(missing_ok=True)
+                        self.model_path(path.stem).unlink(missing_ok=True)
+        select_entries = kind is not None or older_than is not None
+        if select_entries:
+            for entry in self.ls(kind=kind):
+                if older_than is not None and now - entry.created_at < older_than:
+                    continue
+                removed.append(entry.digest)
+                if not dry_run:
+                    Path(entry.path).unlink(missing_ok=True)
+                    self.model_path(entry.digest).unlink(missing_ok=True)
+        models = self.root / _MODELS
+        if models.is_dir():
+            for blob in sorted(models.glob("??/*.npz")):
+                if self.contains(blob.stem):
+                    continue
+                try:
+                    age = now - blob.stat().st_mtime
+                except OSError:  # pragma: no cover - racing writer
+                    continue
+                if age < orphan_grace:
+                    continue
+                orphans.append(blob.stem)
+                if not dry_run:
+                    blob.unlink(missing_ok=True)
+        return {
+            "removed": removed,
+            "corrupt": corrupt,
+            "orphans": orphans,
+            "tmp_files": tmp_files,
+        }
+
+    def verify(self) -> dict:
+        """Integrity check; returns ``{"checked", "problems"}``.
+
+        For every object file: the JSON must parse, the stored digest must
+        match the filename, the digest re-derived from the stored task
+        must match (content-address integrity), the payload must be a
+        dict, and a claimed model blob must exist with a readable header.
+        """
+        checked = 0
+        problems = []
+        objects = self.root / _OBJECTS
+        if not objects.is_dir():
+            return {"checked": 0, "problems": []}
+        for path in sorted(objects.glob("??/*.json")):
+            checked += 1
+            name = path.stem
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (json.JSONDecodeError, OSError) as exc:
+                problems.append({"digest": name, "error": f"unreadable: {exc}"})
+                continue
+            if not isinstance(data, dict) or not isinstance(
+                data.get("payload"), dict
+            ):
+                problems.append({"digest": name, "error": "malformed entry"})
+                continue
+            if data.get("digest") != name:
+                problems.append(
+                    {"digest": name, "error": "stored digest mismatches filename"}
+                )
+                continue
+            try:
+                derived = task_digest(data.get("task"))
+            except ValidationError as exc:
+                problems.append({"digest": name, "error": f"bad task: {exc}"})
+                continue
+            if derived != name:
+                problems.append(
+                    {
+                        "digest": name,
+                        "error": "task does not hash to the stored digest",
+                    }
+                )
+                continue
+            if data.get("has_model"):
+                try:
+                    read_header(self.model_path(name))
+                except ValidationError as exc:
+                    problems.append(
+                        {"digest": name, "error": f"model blob: {exc}"}
+                    )
+        return {"checked": checked, "problems": problems}
+
+    # ------------------------------------------------------------ helpers
+    def _entry_from_dict(self, data: dict, path: Path) -> LedgerEntry:
+        return LedgerEntry(
+            digest=str(data.get("digest", path.stem)),
+            kind=str(data.get("kind", "")),
+            task=dict(data.get("task", {})),
+            payload=dict(data.get("payload", {})),
+            created_at=float(data.get("created_at", 0.0)),
+            library_version=str(data.get("library_version", "")),
+            has_model=bool(data.get("has_model", False)),
+            path=str(path),
+        )
+
+
+def coerce_ledger(store) -> RunLedger | None:
+    """Interpret a call site's ``store`` argument.
+
+    ``None`` stays ``None`` (no persistence); a :class:`RunLedger` is used
+    as-is; anything path-like opens a ledger at that directory.
+    """
+    if store is None:
+        return None
+    if isinstance(store, RunLedger):
+        return store
+    return RunLedger(store)

@@ -122,3 +122,163 @@ class TestExperiments:
              "--gammas", "0.5", "--workers", "lots"]
         ) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestVersionFlag:
+    def test_version_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        from repro._version import __version__
+        assert out.strip() == f"repro {__version__}"
+
+
+class TestExperimentsList:
+    def test_lists_paper_experiment_registry(self, capsys):
+        assert main(["experiments", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        for i in range(1, 11):
+            assert f"figure{i}" in out
+        assert "benchmarks/bench_fig4_synthetic_gamma.py" in out
+
+
+class TestExperimentsRunSpec:
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "name": "cli-smoke",
+            "datasets": [{"name": "synthetic", "scale": 0.3}],
+            "methods": ["original", "pfr"],
+            "gammas": [0.0, 0.5],
+            "seeds": [0, 1],
+            "harness": {"n_components": 2},
+        }))
+        return path
+
+    def test_cold_then_warm(self, spec_file, tmp_path, capsys):
+        store = tmp_path / "ledger"
+        assert main([
+            "experiments", "run", str(spec_file), "--store", str(store)
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "8 cells" in out and "8 computed" in out
+        assert main([
+            "experiments", "run", str(spec_file), "--store", str(store)
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "8 cached, 0 computed" in out
+        assert "hit rate 100%" in out
+
+    def test_json_report(self, spec_file, tmp_path, capsys):
+        assert main([
+            "experiments", "run", str(spec_file),
+            "--store", str(tmp_path / "ledger"), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "cli-smoke"
+        assert payload["total"] == 8
+        assert payload["cached"] == 0
+        assert len(payload["cells"]) == 8
+
+    def test_missing_spec_errors(self, tmp_path, capsys):
+        assert main([
+            "experiments", "run", str(tmp_path / "nope.yaml"),
+            "--store", str(tmp_path / "ledger"),
+        ]) == 2
+        assert "not found" in capsys.readouterr().err
+
+
+class TestSweepWithStore:
+    def test_sweep_persists_and_resumes(self, tmp_path, capsys):
+        store = str(tmp_path / "ledger")
+        argv = ["experiments", "sweep", "synthetic", "--scale", "0.3",
+                "--gammas", "0.0,0.5", "--store", store, "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        from repro.store import RunLedger
+        assert len(RunLedger(store).ls(kind="method_result")) == 2
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+
+
+class TestStoreCommands:
+    @pytest.fixture
+    def populated(self, tmp_path):
+        from repro.store import RunLedger
+
+        store = tmp_path / "ledger"
+        ledger = RunLedger(store)
+        ledger.put({"kind": "method_result", "method": "pfr",
+                    "harness": {"dataset": {"name": "synthetic"}}}, {"x": 1})
+        return store
+
+    def test_ls(self, populated, capsys):
+        assert main(["store", "ls", "--store", str(populated)]) == 0
+        out = capsys.readouterr().out
+        assert "method_result" in out and "1 entries" in out
+        assert "synthetic" in out
+
+    def test_ls_json(self, populated, capsys):
+        assert main(["store", "ls", "--store", str(populated), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["kind"] == "method_result"
+
+    def test_ls_empty(self, tmp_path, capsys):
+        assert main(["store", "ls", "--store", str(tmp_path / "void")]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_verify_ok(self, populated, capsys):
+        assert main(["store", "verify", "--store", str(populated)]) == 0
+        assert "ledger OK" in capsys.readouterr().out
+
+    def test_verify_detects_corruption(self, populated, capsys):
+        victim = next((populated / "objects").glob("??/*.json"))
+        victim.write_text("{garbage")
+        assert main(["store", "verify", "--store", str(populated)]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_gc_dry_run(self, populated, capsys):
+        assert main(["store", "gc", "--store", str(populated),
+                     "--kind", "method_result", "--dry-run"]) == 0
+        assert "would remove 1 entries" in capsys.readouterr().out
+        assert main(["store", "ls", "--store", str(populated)]) == 0
+        assert "1 entries" in capsys.readouterr().out
+
+    def test_gc_removes(self, populated, capsys):
+        assert main(["store", "gc", "--store", str(populated),
+                     "--kind", "method_result"]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+
+
+class TestRegisterFromLedger:
+    def test_round_trip(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments import ExperimentHarness, make_workload
+
+        store = tmp_path / "ledger"
+        harness = ExperimentHarness(
+            make_workload("synthetic", seed=0, scale=0.3),
+            seed=0, n_components=2, store=store,
+        )
+        entry = harness.export_model("pfr", gamma=0.5)
+        monkeypatch.setenv("REPRO_REGISTRY", str(tmp_path / "registry"))
+        assert main([
+            "models", "register", "synthetic-pfr",
+            "--from-ledger", entry.digest, "--store", str(store),
+        ]) == 0
+        assert "registered synthetic-pfr@1" in capsys.readouterr().out
+        assert main(["models", "show", "synthetic-pfr"]) == 0
+        out = capsys.readouterr().out
+        assert "PFR" in out and "stage_digests" in out
+
+    def test_requires_exactly_one_source(self, tmp_path, capsys):
+        assert main(["models", "register", "x"]) == 2
+        assert "exactly one source" in capsys.readouterr().err
+        assert main([
+            "models", "register", "x", "artifact.npz",
+            "--from-ledger", "f" * 64,
+        ]) == 2
+        assert "exactly one source" in capsys.readouterr().err

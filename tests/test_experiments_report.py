@@ -150,3 +150,81 @@ class TestRenderScatter:
     def test_degenerate_points_safe(self):
         out = render_scatter(np.zeros((4, 2)), np.array(["a"] * 4))
         assert "o = a" in out
+
+
+class TestRenderDegenerateInputs:
+    """Edge cases the sweep/aggregate pipelines can legitimately emit:
+    empty series dicts, single-point sweeps, and NaN-valued metrics
+    (e.g. per-group AUC on a single-class group)."""
+
+    # -- render_series ------------------------------------------------------
+
+    def test_series_all_nan_is_no_data(self):
+        nan = float("nan")
+        assert render_series([0, 1], {"s": [nan, nan]}) == "(no data)"
+
+    def test_series_single_point(self):
+        out = render_series([0.5], {"auc": [0.7]}, x_label="gamma")
+        assert "auc" in out and "gamma" in out
+        assert "0.700" in out  # the lone value labels both axis extremes
+
+    def test_series_single_point_nan_x_span(self):
+        # x_min == x_max triggers the degenerate-span guard; must not div/0.
+        out = render_series([1.0], {"a": [0.2], "b": [0.4]})
+        assert "o = a" in out and "x = b" in out
+
+    def test_series_mixed_nan_keeps_finite_extent(self):
+        out = render_series(
+            [0, 1, 2], {"s": [0.2, float("nan"), 0.8]}
+        )
+        assert "0.800" in out and "0.200" in out
+
+    def test_series_empty_x_with_empty_series(self):
+        assert render_series([], {}) == "(no data)"
+
+    def test_series_nan_only_series_alongside_finite(self):
+        nan = float("nan")
+        out = render_series([0, 1], {"dead": [nan, nan], "live": [0.1, 0.9]})
+        assert "live" in out and "dead" in out  # legend still lists both
+
+    # -- render_bars --------------------------------------------------------
+
+    def test_bars_single_value(self):
+        out = render_bars(["only"], [0.42])
+        assert "only" in out and "0.420" in out
+
+    def test_bars_all_zero_values(self):
+        # vmax guard: max(values) == 0 must not divide by zero.
+        out = render_bars(["a", "b"], [0.0, 0.0])
+        assert "0.000" in out
+
+    def test_bars_negative_values_clamped(self):
+        out = render_bars(["neg", "pos"], [-0.5, 0.5])
+        lines = out.splitlines()
+        assert lines[0].count("█") == 0
+        assert "-0.500" in lines[0]
+
+    # -- render_grouped_bars ------------------------------------------------
+
+    def test_grouped_bars_empty_series(self):
+        assert render_grouped_bars(["P"], {}) == "(no data)"
+
+    def test_grouped_bars_empty_value_lists(self):
+        assert render_grouped_bars([], {"s=0": [], "s=1": []}) == "(no data)"
+
+    def test_grouped_bars_all_zero(self):
+        out = render_grouped_bars(["P"], {"s=0": [0.0], "s=1": [0.0]})
+        assert "0.000" in out
+
+    # -- render_table -------------------------------------------------------
+
+    def test_table_nan_cell_renders(self):
+        out = render_table(["m", "auc"], [["pfr", float("nan")]])
+        assert "nan" in out
+
+    def test_table_empty_rows_keeps_header_rule(self):
+        out = render_table(["alpha", "beta"], [])
+        lines = out.splitlines()
+        assert lines[0].startswith("alpha")
+        assert set(lines[1]) == {"-"}
+        assert len(lines) == 2

@@ -361,3 +361,97 @@ class TestErrors:
         np.savez(no_landmarks, header=header, **arrays)
         loaded = load_model(no_landmarks)
         assert getattr(loaded, "landmark_indices_", None) is None
+
+
+class TestCrashSafeWrites:
+    """save_model must be atomic: a crash mid-write leaves either the old
+    artifact or nothing — never a truncated archive."""
+
+    @staticmethod
+    def _fitted_scaler(offset=0.0):
+        from repro.ml import StandardScaler
+
+        rng = np.random.default_rng(0)
+        return StandardScaler().fit(rng.normal(size=(20, 3)) + offset)
+
+    def test_failure_before_rename_leaves_nothing(self, tmp_path, monkeypatch):
+        import repro.io as io_mod
+
+        target = tmp_path / "model.npz"
+        monkeypatch.setattr(
+            io_mod.os, "replace",
+            lambda src, dst: (_ for _ in ()).throw(
+                OSError("simulated crash mid-write")
+            ),
+        )
+        with pytest.raises(OSError, match="simulated"):
+            save_model(self._fitted_scaler(), target)
+        monkeypatch.undo()
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []  # temp file cleaned up
+
+    def test_failure_preserves_previous_artifact(self, tmp_path, monkeypatch):
+        import repro.io as io_mod
+
+        target = tmp_path / "model.npz"
+        save_model(self._fitted_scaler(offset=0.0), target)
+        before = load_model(target).mean_.copy()
+
+        monkeypatch.setattr(
+            io_mod.os, "replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError("boom")),
+        )
+        with pytest.raises(OSError):
+            save_model(self._fitted_scaler(offset=5.0), target)
+        monkeypatch.undo()
+        # The original artifact is intact and still loads cleanly.
+        np.testing.assert_array_equal(load_model(target).mean_, before)
+
+    def test_artifact_honors_umask(self, tmp_path):
+        """atomic_write must not leave artifacts with mkstemp's 0600 —
+        shared ledgers/registries need group/other read under the umask."""
+        import os as _os
+        import stat
+
+        target = tmp_path / "model.npz"
+        save_model(self._fitted_scaler(), target)
+        umask = _os.umask(0)
+        _os.umask(umask)
+        expected = 0o666 & ~umask
+        assert stat.S_IMODE(target.stat().st_mode) == expected
+
+    def test_savez_failure_cleans_temp(self, tmp_path, monkeypatch):
+        import repro.io as io_mod
+
+        def exploding_savez(file, **arrays):
+            file.write(b"partial garbage")
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(io_mod.np, "savez", exploding_savez)
+        with pytest.raises(RuntimeError, match="disk full"):
+            save_model(self._fitted_scaler(), tmp_path / "model.npz")
+        monkeypatch.undo()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_registry_register_is_crash_safe(self, tmp_path, monkeypatch):
+        """A crashed register leaves no artifact AND no manifest entry."""
+        import repro.io as io_mod
+        from repro.serving import ModelRegistry
+
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.register("scaler", self._fitted_scaler())
+
+        monkeypatch.setattr(
+            io_mod.os, "replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError("boom")),
+        )
+        with pytest.raises(OSError):
+            registry.register("scaler", self._fitted_scaler(offset=1.0))
+        monkeypatch.undo()
+        # Version 2 was never recorded; v1 still resolves and loads.
+        records = ModelRegistry(tmp_path / "registry").versions("scaler")
+        assert [r.version for r in records] == [1]
+        assert load_model(records[0].path) is not None
+        model_dir = tmp_path / "registry" / "scaler"
+        assert not (model_dir / "v0002.npz").exists()
+        assert list(model_dir.glob("*.tmp")) == []
