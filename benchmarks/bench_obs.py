@@ -1,0 +1,284 @@
+"""Observability overhead benchmark: instrumented vs uninstrumented runs.
+
+PR 6 threads :mod:`repro.obs` spans and counters through the fit plan,
+the run ledger and the serving layer with a "zero cost when off"
+contract: with no sink attached, every hook is one global load, a truth
+test and a constant return. This benchmark quantifies both sides:
+
+1. **Fit throughput** — a landmark (Nyström) PFR fit at n = 5k rows,
+   timed with tracing off and with a JSONL trace attached. Floor: the
+   traced fit stays within ``REPRO_BENCH_OBS_OVERHEAD_MAX`` (default
+   2×) of the untraced one.
+2. **Transform throughput** — rows/second through a
+   :class:`~repro.serving.TransformService`, tracing off vs on, same
+   floor. The untraced number is the serving-path baseline.
+3. **Per-stage breakdown** — the traced n = 5k fit's wall time split by
+   span name (``plan.landmarks`` / ``plan.graph`` / ``plan.laplacian`` /
+   ``plan.projection`` / ``plan.solve``), i.e. what ``repro obs
+   summary`` prints, as machine-readable JSON.
+4. **Off-mode hook cost** — nanoseconds per disabled ``span()`` call,
+   the number behind the "zero cost when off" claim.
+
+Writes ``benchmarks/output/BENCH_obs.json`` (override with
+``REPRO_BENCH_OBS_JSON``). Problem sizes scale with ``REPRO_BENCH_SCALE``
+so the CI smoke run stays cheap.
+
+Run directly (``python benchmarks/bench_obs.py``) or via pytest
+(``pytest benchmarks/bench_obs.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import PFR, __version__
+from repro.graphs import between_group_quantile_graph
+from repro.obs import (
+    RingBufferSink,
+    add_sink,
+    remove_sink,
+    span,
+    summarize_trace,
+    tracing,
+)
+from repro.serving import ModelRegistry, TransformService
+
+OUTPUT_JSON = Path(
+    os.environ.get(
+        "REPRO_BENCH_OBS_JSON",
+        Path(__file__).parent / "output" / "BENCH_obs.json",
+    )
+)
+
+_SCALE = max(0.05, min(1.0, float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))))
+
+# The headline configuration: a 5k-row landmark fit (the ROADMAP's
+# scaling path), scaled down for CI smoke runs.
+N_FIT = max(300, int(5000 * _SCALE))
+N_LANDMARKS = max(60, int(N_FIT * 0.05))
+N_FEATURES = 12
+N_COMPONENTS = 4
+N_TRANSFORM_ROWS = max(500, int(20000 * _SCALE))
+TRANSFORM_BATCH = 256
+N_REPEATS = 2
+N_OFF_SPAN_CALLS = 200_000
+
+# Acceptance ceiling on traced/untraced wall-time ratios. Tracing writes
+# one JSONL line per span — real work, and for sub-millisecond transform
+# requests that write is a visible fraction of the request — so this is a
+# sanity bound ("tracing does not multiply run time"), not a micro-target;
+# CI smoke runs on shared runners can loosen it via env.
+OVERHEAD_MAX = float(os.environ.get("REPRO_BENCH_OBS_OVERHEAD_MAX", "2.0"))
+
+
+def _workload(n: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, N_FEATURES))
+    s = rng.integers(0, 2, n)
+    scores = X[:, 0] + rng.normal(scale=0.5, size=n)
+    w_fair = between_group_quantile_graph(scores, s, n_quantiles=8)
+    return X, w_fair
+
+
+def _estimator() -> PFR:
+    return PFR(
+        n_components=N_COMPONENTS,
+        gamma=0.5,
+        extension="nystrom",
+        landmarks=N_LANDMARKS,
+        landmark_seed=0,
+    )
+
+
+def _timed(fn) -> float:
+    """Best-of-N wall time (transient stalls only ever slow a pass down)."""
+    best = float("inf")
+    for _ in range(N_REPEATS):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_fit(X, w_fair, trace_dir: Path) -> dict:
+    untraced = _timed(lambda: _estimator().fit(X, w_fair))
+    trace_path = trace_dir / "fit.jsonl"
+
+    def traced_fit():
+        with tracing(trace_path, metrics=False):
+            _estimator().fit(X, w_fair)
+
+    traced = _timed(traced_fit)
+    return {
+        "n_samples": int(X.shape[0]),
+        "n_landmarks": N_LANDMARKS,
+        "untraced_seconds": untraced,
+        "traced_seconds": traced,
+        "overhead_ratio": traced / untraced if untraced > 0 else float("inf"),
+    }
+
+
+def _bench_transform(X, w_fair, workdir: Path) -> dict:
+    model = _estimator().fit(X, w_fair)
+    registry = ModelRegistry(workdir / "registry")
+    registry.register("bench", model)
+    rng = np.random.default_rng(7)
+    rows = rng.normal(size=(N_TRANSFORM_ROWS, N_FEATURES))
+    batches = [
+        rows[i:i + TRANSFORM_BATCH]
+        for i in range(0, N_TRANSFORM_ROWS, TRANSFORM_BATCH)
+    ]
+
+    def push_all():
+        service = TransformService(registry, cache_size=0)
+        for batch in batches:
+            service.transform("bench", batch)
+
+    untraced = _timed(push_all)
+
+    def push_all_traced():
+        with tracing(workdir / "transform.jsonl", metrics=False):
+            push_all()
+
+    traced = _timed(push_all_traced)
+    return {
+        "n_rows": N_TRANSFORM_ROWS,
+        "batch_size": TRANSFORM_BATCH,
+        "untraced_seconds": untraced,
+        "traced_seconds": traced,
+        "untraced_rows_per_sec": N_TRANSFORM_ROWS / untraced,
+        "traced_rows_per_sec": N_TRANSFORM_ROWS / traced,
+        "overhead_ratio": traced / untraced if untraced > 0 else float("inf"),
+    }
+
+
+def _stage_breakdown(X, w_fair) -> dict:
+    """One traced n=5k landmark fit, split by span name."""
+    sink = RingBufferSink(capacity=65536)
+    add_sink(sink)
+    try:
+        start = time.perf_counter()
+        _estimator().fit(X, w_fair)
+        wall = time.perf_counter() - start
+    finally:
+        remove_sink(sink)
+    summary = summarize_trace(sink.records())
+    stages = {
+        name: {
+            "calls": stage["count"],
+            "total_s": stage["total_s"],
+            "share_of_wall": stage["total_s"] / wall if wall > 0 else 0.0,
+        }
+        for name, stage in summary["stages"].items()
+    }
+    return {"wall_seconds": wall, "stages": stages}
+
+
+def _bench_off_span() -> dict:
+    start = time.perf_counter()
+    for _ in range(N_OFF_SPAN_CALLS):
+        with span("bench.noop", gamma=0.5):
+            pass
+    elapsed = time.perf_counter() - start
+    return {
+        "calls": N_OFF_SPAN_CALLS,
+        "total_seconds": elapsed,
+        "ns_per_call": elapsed / N_OFF_SPAN_CALLS * 1e9,
+    }
+
+
+def run_benchmark() -> dict:
+    X, w_fair = _workload(N_FIT, seed=0)
+    with tempfile.TemporaryDirectory(prefix="bench_obs_") as tmp:
+        workdir = Path(tmp)
+        results = {
+            "fit": _bench_fit(X, w_fair, workdir),
+            "transform": _bench_transform(X, w_fair, workdir),
+            "stage_breakdown": _stage_breakdown(X, w_fair),
+            "off_span": _bench_off_span(),
+        }
+    return {
+        "benchmark": "obs",
+        "library_version": __version__,
+        "timestamp": time.time(),
+        "config": {
+            "n_fit": N_FIT,
+            "n_landmarks": N_LANDMARKS,
+            "n_features": N_FEATURES,
+            "n_components": N_COMPONENTS,
+            "n_transform_rows": N_TRANSFORM_ROWS,
+            "scale": _SCALE,
+            "overhead_max": OVERHEAD_MAX,
+        },
+        "results": results,
+    }
+
+
+def write_results(payload: dict) -> Path:
+    OUTPUT_JSON.parent.mkdir(parents=True, exist_ok=True)
+    OUTPUT_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return OUTPUT_JSON
+
+
+def _check(payload: dict) -> list:
+    """Acceptance floors; returns a list of failure strings."""
+    failures = []
+    results = payload["results"]
+    for name in ("fit", "transform"):
+        ratio = results[name]["overhead_ratio"]
+        if ratio > OVERHEAD_MAX:
+            failures.append(
+                f"{name}: traced/untraced ratio {ratio:.2f} > {OVERHEAD_MAX}"
+            )
+    stages = results["stage_breakdown"]["stages"]
+    for required in ("plan.landmarks", "plan.solve"):
+        if required not in stages:
+            failures.append(f"stage breakdown missing {required!r}")
+    return failures
+
+
+def test_obs_overhead():
+    payload = run_benchmark()
+    path = write_results(payload)
+    assert path.is_file()
+    failures = _check(payload)
+    assert not failures, "; ".join(failures)
+
+
+def main() -> int:
+    payload = run_benchmark()
+    path = write_results(payload)
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {path}", file=sys.stderr)
+    results = payload["results"]
+    print(
+        f"fit       untraced {results['fit']['untraced_seconds']:7.3f}s  "
+        f"traced {results['fit']['traced_seconds']:7.3f}s  "
+        f"ratio {results['fit']['overhead_ratio']:5.2f}",
+        file=sys.stderr,
+    )
+    print(
+        f"transform untraced {results['transform']['untraced_rows_per_sec']:10.0f} rows/s  "
+        f"traced {results['transform']['traced_rows_per_sec']:10.0f} rows/s  "
+        f"ratio {results['transform']['overhead_ratio']:5.2f}",
+        file=sys.stderr,
+    )
+    print(
+        f"off-span  {results['off_span']['ns_per_call']:7.0f} ns/call",
+        file=sys.stderr,
+    )
+    failures = _check(payload)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,9 @@ Usage::
     python -m repro models promote NAME VERSION [--registry DIR]
     python -m repro transform NAME[@VERSION] --input rows.csv [--output z.csv]
 
+    python -m repro obs summary trace.jsonl [--json]
+    python -m repro obs tail trace.jsonl [-n 20]
+
 ``run`` executes the experiment's driver, prints the ASCII rendering, and
 optionally writes it to a file. ``list`` shows every experiment with the
 qualitative shapes the reproduction is expected to exhibit. The
@@ -42,6 +45,12 @@ rows through a registered model.
 The registry directory defaults to the ``REPRO_REGISTRY`` environment
 variable (falling back to ``~/.repro/registry``); the ledger to
 ``REPRO_STORE`` (falling back to ``~/.repro/store``).
+
+Every ``experiments`` subcommand and ``transform`` also accept
+``--trace PATH`` (record a JSONL trace of the run via :mod:`repro.obs`,
+readable with ``repro obs summary``) and ``--metrics`` (print the final
+metrics-registry snapshot to stderr). Both are off by default and cost
+nothing when off.
 """
 
 from __future__ import annotations
@@ -161,6 +170,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp_sub = experiments.add_subparsers(dest="experiments_command", required=True)
 
+    def _obs_flags(sub):
+        sub.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="append a JSONL trace of this run to PATH (inspect with "
+                 "`repro obs summary PATH`); off by default and free when off",
+        )
+        sub.add_argument(
+            "--metrics", action="store_true",
+            help="print the final metrics snapshot to stderr",
+        )
+
     def _exp_common(sub):
         sub.add_argument("dataset", choices=["synthetic", "crime", "compas"])
         sub.add_argument("--scale", type=float, default=1.0,
@@ -179,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument("--json", action="store_true",
                          help="emit machine-readable JSON instead of a table")
+        _obs_flags(sub)
 
     exp_sub.add_parser(
         "list", help="list the paper-experiment registry (tables/figures)"
@@ -198,6 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_spec_cmd.add_argument("--json", action="store_true",
                               help="emit the machine-readable run report")
+    _obs_flags(run_spec_cmd)
 
     sweep = exp_sub.add_parser(
         "sweep", help="γ-sweep one method on a workload"
@@ -275,6 +297,28 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write the representation CSV here "
                                 "(default: stdout)")
     transform.add_argument("--registry", default=None)
+    _obs_flags(transform)
+
+    obs = subparsers.add_parser(
+        "obs", help="inspect JSONL traces recorded with --trace"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    obs_summary = obs_sub.add_parser(
+        "summary",
+        help="per-stage wall-time breakdown, cache hit rates and cell "
+             "counts of one trace",
+    )
+    obs_summary.add_argument("trace", help="JSONL trace file")
+    obs_summary.add_argument("--json", action="store_true",
+                             help="emit the machine-readable summary")
+
+    obs_tail = obs_sub.add_parser(
+        "tail", help="print the last N records of a trace"
+    )
+    obs_tail.add_argument("trace", help="JSONL trace file")
+    obs_tail.add_argument("-n", type=int, default=20,
+                          help="number of records (default 20)")
     return parser
 
 
@@ -635,8 +679,15 @@ def _cmd_transform(args) -> int:
         return 2
 
     # One-shot process: a result cache would only be thrown away at exit,
-    # so skip the digest/copy bookkeeping entirely.
-    service = TransformService(_registry(args), cache_size=0)
+    # so skip the digest/copy bookkeeping entirely. Under --trace/--metrics
+    # the service publishes into the global registry so its latency lands
+    # in the trace's final metrics record and the stderr snapshot.
+    metrics = None
+    if getattr(args, "trace", None) or getattr(args, "metrics", False):
+        from .obs import get_registry
+
+        metrics = get_registry()
+    service = TransformService(_registry(args), cache_size=0, metrics=metrics)
     Z = service.transform(args.spec, X)
 
     if args.output:
@@ -651,6 +702,51 @@ def _cmd_transform(args) -> int:
             # interpreter's shutdown flush doesn't raise again.
             os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0
+
+
+def _cmd_obs(args) -> int:
+    from .obs import format_trace_summary, read_trace, summarize_trace
+
+    records = read_trace(args.trace)
+    if args.obs_command == "summary":
+        summary = summarize_trace(records)
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(format_trace_summary(summary))
+        return 0
+
+    # tail
+    n = max(int(args.n), 0)
+    for record in records[len(records) - n:] if n else []:
+        print(json.dumps(record, sort_keys=True))
+    return 0
+
+
+def _with_obs(args, command):
+    """Run ``command()`` under the --trace/--metrics flags, if given.
+
+    With neither flag this adds nothing — :mod:`repro.obs` is not even
+    imported, keeping the untraced CLI byte-for-byte on its old path.
+    ``--trace PATH`` scopes a JSONL sink around the command (the exit-time
+    metrics record makes the file self-contained); ``--metrics`` prints
+    the global registry snapshot to stderr after the command so stdout
+    stays pipeable.
+    """
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    if not trace_path and not want_metrics:
+        return command()
+    from .obs import format_metrics, get_registry, tracing
+
+    if trace_path:
+        with tracing(trace_path):
+            code = command()
+    else:
+        code = command()
+    if want_metrics:
+        print(format_metrics(get_registry().snapshot()), file=sys.stderr)
+    return code
 
 
 def main(argv=None) -> int:
@@ -682,7 +778,7 @@ def main(argv=None) -> int:
 
     if args.command == "experiments":
         try:
-            return _cmd_experiments(args)
+            return _with_obs(args, lambda: _cmd_experiments(args))
         except (ReproError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -701,10 +797,22 @@ def main(argv=None) -> int:
 
     if args.command == "transform":
         try:
-            return _cmd_transform(args)
+            return _with_obs(args, lambda: _cmd_transform(args))
         except (ReproError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+
+    if args.command == "obs":
+        try:
+            return _cmd_obs(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except BrokenPipeError:
+            # Downstream consumer (e.g. `| head`) closed the pipe; redirect
+            # stdout so the interpreter's shutdown flush doesn't raise too.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
 
     targets = (
         list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

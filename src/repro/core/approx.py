@@ -43,6 +43,7 @@ import scipy.sparse as sp
 from .._validation import check_array, check_random_state, check_symmetric
 from ..exceptions import ValidationError
 from ..graphs.knn import _distance_view, knn_cross
+from ..obs.trace import span
 from .plan import Precomputed, SpectralFitPlan, _stage_digest
 
 __all__ = [
@@ -346,13 +347,15 @@ class LandmarkPlan:
         self.n_landmarks = int(n_landmarks)
         self.strategy = strategy
         self.seed = seed
-        self.indices_ = select_landmarks(
-            X,
-            self.n_landmarks,
-            strategy=strategy,
-            seed=seed,
-            exclude=exclude_columns,
-        )
+        with span("plan.landmarks", strategy=str(strategy),
+                  m=int(n_landmarks), n=int(n)):
+            self.indices_ = select_landmarks(
+                X,
+                self.n_landmarks,
+                strategy=strategy,
+                seed=seed,
+                exclude=exclude_columns,
+            )
         self.X_landmarks_ = X[self.indices_]
         w_fair_landmarks = _restrict(w_fair, self.indices_)
         w_x_landmarks = None if w_x is None else _restrict(w_x, self.indices_)

@@ -53,6 +53,8 @@ from .._validation import check_array, check_symmetric
 from ..exceptions import ValidationError
 from ..graphs.knn import knn_graph, median_heuristic
 from ..graphs.laplacian import laplacian
+from ..obs.metrics import get_registry
+from ..obs.trace import span
 from .trace_optimization import (
     objective_matrix,
     sign_normalize,
@@ -270,21 +272,25 @@ class SpectralFitPlan:
     def graph(self) -> Precomputed:
         """Stage 1 — the validated/built graphs ``WX`` and ``WF`` (§3.1–3.2)."""
         if self._graph is None:
-            self._graph = self._graph_stage()
+            with span("plan.graph", kind=self.kind, n=int(self.X.shape[0])):
+                self._graph = self._graph_stage()
         return self._graph
 
     @property
     def laplacians(self) -> Precomputed:
         """Stage 2 — the Laplacians ``L_X`` and ``L_F`` of Equations 5–6."""
         if self._laplacians is None:
-            self._laplacians = self._laplacian_stage()
+            with span("plan.laplacian", kind=self.kind):
+                self._laplacians = self._laplacian_stage()
         return self._laplacians
 
     @property
     def projection(self) -> Precomputed:
         """Stage 3 — γ-independent objective/constraint matrices (Eqs. 7–8)."""
         if self._projection is None:
-            self._projection = self._projection_stage()
+            with span("plan.projection", kind=self.kind,
+                      constraint=self.constraint):
+                self._projection = self._projection_stage()
         return self._projection
 
     @property
@@ -532,25 +538,43 @@ class SpectralFitPlan:
                 )
             raise ValidationError(f"d must be in [1, {d_max}]; got {d}")
 
+        # Per-γ cache accounting: a "hit" reuses previously computed
+        # eigenpairs (slice or memoized exact solve), a "miss" pays an
+        # eigensolve. Counters only — they never influence which path runs.
+        registry = get_registry()
+        gamma_label = f"{gamma:g}"
         cached = self._solves.get(gamma)
         if cached is not None and cached[0].shape[0] > d:
             if self._slice_is_safe(cached[0], d):
+                registry.inc("plan.solve_cache.hits", gamma=gamma_label)
                 eigenvalues, vectors = cached
                 return eigenvalues[:d].copy(), vectors[:, :d].copy()
             exact = self._exact_solves.get((gamma, d))
             if exact is None:
+                registry.inc("plan.solve_cache.misses", gamma=gamma_label)
                 exact = self._solve_fresh(gamma, d)
                 self._exact_solves[(gamma, d)] = exact
+            else:
+                registry.inc("plan.solve_cache.hits", gamma=gamma_label)
             eigenvalues, vectors = exact
             return eigenvalues.copy(), vectors.copy()
 
         if cached is None or cached[0].shape[0] < d:
+            registry.inc("plan.solve_cache.misses", gamma=gamma_label)
             cached = self._solve_fresh(gamma, d)
             self._solves[gamma] = cached
+        else:
+            registry.inc("plan.solve_cache.hits", gamma=gamma_label)
         eigenvalues, vectors = cached
         return eigenvalues[:d].copy(), vectors[:, :d].copy()
 
     def _solve_fresh(self, gamma: float, d: int) -> tuple[np.ndarray, np.ndarray]:
+        with span("plan.solve", kind=self.kind, gamma=float(gamma), d=int(d)):
+            return self._solve_fresh_inner(gamma, d)
+
+    def _solve_fresh_inner(
+        self, gamma: float, d: int
+    ) -> tuple[np.ndarray, np.ndarray]:
         proj = self.projection
         M = self._mixed(gamma)
         if proj["B"] is not None:

@@ -46,6 +46,13 @@ from concurrent.futures import ProcessPoolExecutor
 import numpy as np
 
 from ..exceptions import ValidationError
+from ..obs.trace import (
+    attach_worker_sinks,
+    emit_metrics,
+    jsonl_paths,
+    span,
+    trace_enabled,
+)
 
 __all__ = ["Executor", "get_executor", "spawn_seeds", "available_workers"]
 
@@ -90,12 +97,29 @@ def spawn_seeds(base_seed: int, n: int) -> tuple[int, ...]:
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(state) -> None:
+def _init_worker(state, trace_paths=()) -> None:
     _WORKER_STATE["state"] = state
+    # Tracing config travels with the state: workers append to the same
+    # JSONL files as the parent (O_APPEND single-line writes cannot
+    # interleave), and an empty config keeps tracing off in the worker.
+    # Ring-buffer sinks stay behind — they cannot cross a process
+    # boundary. Re-attaching also drops any fork-inherited sinks so a
+    # record is never written twice through two copies of one descriptor.
+    attach_worker_sinks(trace_paths)
 
 
 def _run_task(fn, task):
-    return fn(_WORKER_STATE["state"], task)
+    state = _WORKER_STATE["state"]
+    if not trace_enabled():
+        return fn(state, task)
+    with span("parallel.task", worker=os.getpid()):
+        result = fn(state, task)
+    # Snapshot this worker's counters after every task; trace consumers
+    # keep the last metrics record per pid, so the final task's snapshot
+    # is the worker's contribution — pools have no orderly-exit hook to
+    # emit from instead.
+    emit_metrics()
+    return result
 
 
 class Executor:
@@ -201,7 +225,7 @@ class Executor:
             max_workers=self.resolve_workers(len(tasks)),
             mp_context=self._context(),
             initializer=_init_worker,
-            initargs=(state,),
+            initargs=(state, jsonl_paths()),
         ) as pool:
             # chunksize=1 keeps scheduling dynamic (stragglers don't pin a
             # whole pre-dealt chunk to one worker); map() preserves task

@@ -38,10 +38,13 @@ Run it with ``repro experiments run spec.yaml --store DIR`` or
 from __future__ import annotations
 
 import json
+import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..exceptions import ValidationError
+from ..obs.trace import emit_metrics, span, trace_enabled
 from ..store import RunLedger, coerce_ledger, decode_method_result, task_digest
 from .builders import WorkloadFactory
 from .harness import ExperimentHarness, cell_task
@@ -306,12 +309,18 @@ class RunReport:
     aggregates:
         ``{(dataset, method, gamma): AggregateResult}`` across seeds
         (present when the spec has ≥ 2 seeds).
+    telemetry:
+        Observability sidecar (:mod:`repro.obs`): wall-clock, cell
+        counts, and the parent process's ledger hit/miss deltas for this
+        run. Purely informational — never part of any digest, and absent
+        keys must not be relied on.
     """
 
     spec: RunSpec
     cells: list
     results: dict = field(repr=False)
     aggregates: dict = field(repr=False)
+    telemetry: dict = field(default_factory=dict, repr=False)
 
     @property
     def n_total(self) -> int:
@@ -348,6 +357,7 @@ class RunReport:
             "hit_rate": self.hit_rate,
             "cells": self.cells,
             "aggregates": aggregates,
+            "telemetry": self.telemetry,
         }
 
 
@@ -363,7 +373,7 @@ def _spec_cell_task(state, task):
     prepared harness in its own copy of ``state`` so every later cell on
     the same slice reuses the staged fit plans.
     """
-    dataset_name, scale, seed, method, gamma, C, params = task
+    dataset_name, scale, seed, method, gamma, C, params, digest = task
     key = (dataset_name, scale, seed)
     harness = state["harnesses"].get(key)
     if harness is None:
@@ -372,7 +382,19 @@ def _spec_cell_task(state, task):
             seed=seed, store=state["store"], **state["harness_kwargs"],
         )
         state["harnesses"][key] = harness
-    return harness.run_method(method, gamma=gamma, C=C, **params)
+    if not trace_enabled():
+        return harness.run_method(method, gamma=gamma, C=C, **params)
+    with span(
+        "spec.cell",
+        digest=digest,
+        dataset=dataset_name,
+        method=method,
+        gamma=float(gamma),
+        seed=int(seed),
+        cached=False,
+        worker=os.getpid(),
+    ):
+        return harness.run_method(method, gamma=gamma, C=C, **params)
 
 
 def run_spec(spec: RunSpec, *, store, workers=None) -> RunReport:
@@ -401,6 +423,27 @@ def run_spec(spec: RunSpec, *, store, workers=None) -> RunReport:
     if not isinstance(ledger, RunLedger):
         raise ValidationError("run_spec requires a store (directory or RunLedger)")
 
+    start = time.perf_counter()
+    stats_before = ledger.stats()
+    run_span = span("spec.run", name=spec.name)
+    run_span.__enter__()
+    try:
+        report = _run_spec_inner(
+            spec, ledger, workers, start, stats_before, run_span
+        )
+    except BaseException:
+        run_span.__exit__(ValidationError, None, None)
+        raise
+    run_span.__exit__(None, None, None)
+    # A self-contained trace: snapshot the parent's counters so `repro
+    # obs summary` can report the ledger hit rate without the registry.
+    emit_metrics()
+    return report
+
+
+def _run_spec_inner(
+    spec: RunSpec, ledger: RunLedger, workers, start, stats_before, run_span
+) -> RunReport:
     # Materialize each dataset × seed slice once in the parent, only to
     # compute its (small) task fingerprint — the dataset itself is dropped
     # immediately, so parent memory peaks at one dataset regardless of the
@@ -445,9 +488,14 @@ def run_spec(spec: RunSpec, *, store, workers=None) -> RunReport:
                     if not cached:
                         pending.append(
                             (dataset_name, scale, seed, method, gamma, C,
-                             params)
+                             params, digest)
                         )
 
+    run_span.set(
+        total=len(cells),
+        cached=len(cells) - len(pending),
+        computed=len(pending),
+    )
     state = {"harnesses": {}, "store": ledger, "harness_kwargs": spec.harness}
     get_executor(workers).map(_spec_cell_task, pending, state=state)
 
@@ -476,6 +524,25 @@ def run_spec(spec: RunSpec, *, store, workers=None) -> RunReport:
                         ]
                     )
 
+    stats_after = ledger.stats()
+    delta = {
+        key: stats_after[key] - stats_before[key]
+        for key in ("hits", "misses", "lookups", "gets", "puts")
+    }
+    delta["hit_rate"] = (
+        delta["hits"] / delta["lookups"] if delta["lookups"] else 0.0
+    )
+    telemetry = {
+        "wall_s": time.perf_counter() - start,
+        "cells": {
+            "total": len(cells),
+            "cached": sum(1 for cell in cells if cell["cached"]),
+            "computed": sum(1 for cell in cells if not cell["cached"]),
+        },
+        "ledger": delta,
+        "trace_enabled": trace_enabled(),
+    }
     return RunReport(
-        spec=spec, cells=cells, results=results, aggregates=aggregates
+        spec=spec, cells=cells, results=results, aggregates=aggregates,
+        telemetry=telemetry,
     )

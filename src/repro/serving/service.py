@@ -24,6 +24,8 @@ import numpy as np
 
 from ..exceptions import ValidationError
 from ..io import load_model
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import span, trace_enabled
 from .batching import BatchTransformer, MicroBatcher
 from .cache import LRUCache, matrix_digests, row_digest
 from .registry import ModelRegistry, ModelRecord
@@ -33,15 +35,12 @@ __all__ = ["TransformService"]
 
 @dataclass
 class _ServedModel:
-    """A loaded model plus its serving machinery and counters."""
+    """A loaded model plus its serving machinery."""
 
     record: ModelRecord
     model: object
     batcher: BatchTransformer
     cache: LRUCache
-    n_requests: int = 0
-    n_rows: int = 0
-    seconds: float = 0.0
 
 
 class TransformService:
@@ -58,6 +57,12 @@ class TransformService:
         time to bound peak memory.
     max_batch_size, max_wait:
         Defaults handed to :meth:`microbatcher` instances.
+    metrics:
+        The :class:`~repro.obs.MetricsRegistry` request accounting lands
+        in. Defaults to a private registry per service, so two services
+        in one process never mix their latency distributions; pass
+        :func:`repro.obs.get_registry` to publish into the process-global
+        one instead.
     """
 
     def __init__(
@@ -68,6 +73,7 @@ class TransformService:
         chunk_size: int = 8192,
         max_batch_size: int = 256,
         max_wait: float = 0.002,
+        metrics: MetricsRegistry | None = None,
     ):
         self.registry = (
             registry if isinstance(registry, ModelRegistry) else ModelRegistry(registry)
@@ -76,13 +82,13 @@ class TransformService:
         self.chunk_size = chunk_size
         self.max_batch_size = max_batch_size
         self.max_wait = max_wait
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._models: dict[tuple[str, int], _ServedModel] = {}
         # Pinned name@version specs are immutable, so their resolution is
         # memoized; bare names / @latest re-resolve through the registry
         # every call so promotions take effect immediately.
         self._resolved: dict[str, tuple[str, int]] = {}
         self._load_lock = threading.Lock()
-        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------ serving
     def transform(self, spec: str, X) -> np.ndarray:
@@ -95,7 +101,12 @@ class TransformService:
         served = self._served(spec)
         X = self._checked_matrix(served.record, X)
         start = time.perf_counter()
-        result = self._transform_cached(served, X)
+        if trace_enabled():
+            with span("serving.transform", model=served.record.spec,
+                      rows=int(X.shape[0])):
+                result = self._transform_cached(served, X)
+        else:
+            result = self._transform_cached(served, X)
         self._account(served, X.shape[0], time.perf_counter() - start)
         return result
 
@@ -172,35 +183,57 @@ class TransformService:
 
     # ------------------------------------------------------ observability
     def stats(self) -> dict:
-        """Aggregate and per-model serving counters.
+        """Aggregate and per-model serving statistics.
 
-        Returns ``{"models": {spec: {...}}, "totals": {...}}`` where every
-        entry carries requests, rows, cache hits/misses/hit_rate, seconds
-        and rows_per_second.
+        Returns ``{"models": {spec: {...}}, "totals": {...}}``. Every
+        model entry carries the original counters (``requests``, ``rows``,
+        ``seconds``, ``rows_per_second``, ``cache``) plus the derived
+        rates computed *here, once* from the latency histogram —
+        ``rows_per_sec``, ``mean_latency_s`` and a ``latency`` summary
+        with deterministic p50/p90/p99 — so callers stop re-deriving them
+        (each subtly differently) from raw totals. ``seconds`` is the
+        histogram's Kahan-compensated sum, so it no longer drifts the way
+        the old ``+=`` accumulator did under millions of tiny requests.
         """
-        # Snapshot the model table under its own lock — _served()/evict()
-        # mutate the dict under _load_lock, so iterating it under only
-        # _stats_lock would race (RuntimeError: dict changed size).
+        # Snapshot the model table under the load lock — _served()/evict()
+        # mutate the dict there, so an unguarded iteration would race
+        # (RuntimeError: dict changed size). The metrics registry locks
+        # internally.
         with self._load_lock:
             served_models = list(self._models.values())
-        with self._stats_lock:
-            snapshot = {
-                served.record.spec: {
-                    "model_type": served.record.model_type,
-                    "requests": served.n_requests,
-                    "rows": served.n_rows,
-                    "seconds": served.seconds,
-                    "rows_per_second": (
-                        served.n_rows / served.seconds if served.seconds else 0.0
-                    ),
-                    "cache": served.cache.info(),
-                }
-                for served in served_models
+        snapshot = {}
+        for served in served_models:
+            spec = served.record.spec
+            latency = self.metrics.histogram_summary(
+                "serving.request_seconds", model=spec
+            )
+            requests = latency["count"]
+            rows = int(self.metrics.counter_value("serving.rows", model=spec))
+            seconds = latency["sum"]
+            rows_per_sec = rows / seconds if seconds else 0.0
+            snapshot[spec] = {
+                "model_type": served.record.model_type,
+                "requests": requests,
+                "rows": rows,
+                "seconds": seconds,
+                # Back-compat alias of rows_per_sec (pre-obs key).
+                "rows_per_second": rows_per_sec,
+                "rows_per_sec": rows_per_sec,
+                "mean_latency_s": latency["mean"],
+                "latency": latency,
+                "cache": served.cache.info(),
             }
+        total_rows = sum(entry["rows"] for entry in snapshot.values())
+        total_seconds = sum(entry["seconds"] for entry in snapshot.values())
+        total_requests = sum(entry["requests"] for entry in snapshot.values())
         totals = {
-            "requests": sum(entry["requests"] for entry in snapshot.values()),
-            "rows": sum(entry["rows"] for entry in snapshot.values()),
-            "seconds": sum(entry["seconds"] for entry in snapshot.values()),
+            "requests": total_requests,
+            "rows": total_rows,
+            "seconds": total_seconds,
+            "rows_per_sec": total_rows / total_seconds if total_seconds else 0.0,
+            "mean_latency_s": (
+                total_seconds / total_requests if total_requests else 0.0
+            ),
             "cache_hits": sum(entry["cache"]["hits"] for entry in snapshot.values()),
             "cache_misses": sum(
                 entry["cache"]["misses"] for entry in snapshot.values()
@@ -314,7 +347,7 @@ class TransformService:
         return out
 
     def _account(self, served: _ServedModel, rows: int, seconds: float) -> None:
-        with self._stats_lock:
-            served.n_requests += 1
-            served.n_rows += rows
-            served.seconds += seconds
+        spec = served.record.spec
+        self.metrics.inc("serving.requests", model=spec)
+        self.metrics.inc("serving.rows", float(rows), model=spec)
+        self.metrics.observe("serving.request_seconds", seconds, model=spec)

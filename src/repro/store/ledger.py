@@ -40,6 +40,7 @@ from pathlib import Path
 from .._version import __version__
 from ..exceptions import ValidationError
 from ..io import atomic_write, load_model, read_header, save_model
+from ..obs.metrics import get_registry
 from .digests import task_digest
 
 __all__ = ["LedgerEntry", "RunLedger", "default_store_root"]
@@ -88,6 +89,53 @@ class RunLedger:
     def __eq__(self, other) -> bool:
         return isinstance(other, RunLedger) and self.root == other.root
 
+    # -------------------------------------------------------- observability
+    #
+    # Every lookup/write records into the process-global metrics registry,
+    # labeled by the ledger root so two ledgers in one process keep
+    # separate series. Counters live in the registry (not on the
+    # instance): a RunLedger is pickled to worker processes, and in-object
+    # counters would silently reset on every fan-out.
+
+    def _account_lookup(self, hit: bool) -> None:
+        name = "ledger.hits" if hit else "ledger.misses"
+        get_registry().inc(name, root=str(self.root))
+
+    def stats(self) -> dict:
+        """Hit/miss and latency accounting for *this process's* use of
+        this ledger root.
+
+        Returns ``hits``/``misses``/``lookups``/``hit_rate`` (both
+        :meth:`contains` and :meth:`get` count as lookups), ``gets``,
+        ``puts``, ``gc_runs``, and ``read_seconds``/``write_seconds``
+        histogram summaries (count/sum/mean/p50/p90/p99). Counters are
+        per-process: worker processes accumulate their own (visible in a
+        JSONL trace via their ``metrics`` records), so a parent asking
+        after a fan-out sees the lookups *it* performed — which is exactly
+        what the pre-dispatch skip logic and the CI cache-hit assertion
+        measure.
+        """
+        registry = get_registry()
+        root = str(self.root)
+        hits = registry.counter_value("ledger.hits", root=root)
+        misses = registry.counter_value("ledger.misses", root=root)
+        lookups = hits + misses
+        return {
+            "hits": int(hits),
+            "misses": int(misses),
+            "lookups": int(lookups),
+            "hit_rate": hits / lookups if lookups else 0.0,
+            "gets": int(registry.counter_value("ledger.gets", root=root)),
+            "puts": int(registry.counter_value("ledger.puts", root=root)),
+            "gc_runs": int(registry.counter_value("ledger.gc_runs", root=root)),
+            "read_seconds": registry.histogram_summary(
+                "ledger.read_seconds", root=root
+            ),
+            "write_seconds": registry.histogram_summary(
+                "ledger.write_seconds", root=root
+            ),
+        }
+
     # ------------------------------------------------------------- paths
     def _object_path(self, digest: str) -> Path:
         return self.root / _OBJECTS / digest[:2] / f"{digest}.json"
@@ -111,6 +159,7 @@ class RunLedger:
             raise ValidationError(
                 f"ledger payloads must be dicts; got {type(payload).__name__}"
             )
+        start = time.perf_counter()
         digest = task_digest(task)
         path = self._object_path(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -129,20 +178,38 @@ class RunLedger:
         }
         text = json.dumps(entry, sort_keys=True, allow_nan=True) + "\n"
         atomic_write(path, lambda handle: handle.write(text), mode="w")
+        registry = get_registry()
+        root = str(self.root)
+        registry.inc("ledger.puts", root=root)
+        registry.observe(
+            "ledger.write_seconds", time.perf_counter() - start, root=root
+        )
         return self._entry_from_dict(entry, path)
 
     # ---------------------------------------------------------- read API
     def contains(self, digest: str) -> bool:
         """Whether an entry for ``digest`` is on disk."""
-        return self._object_path(digest).is_file()
+        hit = self._object_path(digest).is_file()
+        self._account_lookup(hit)
+        return hit
 
     def get(self, digest: str) -> LedgerEntry | None:
         """The entry stored under ``digest``, or ``None`` if absent."""
         path = self._object_path(digest)
+        start = time.perf_counter()
         try:
             raw = path.read_text(encoding="utf-8")
         except FileNotFoundError:
+            get_registry().inc("ledger.gets", root=str(self.root))
+            self._account_lookup(False)
             return None
+        registry = get_registry()
+        root = str(self.root)
+        registry.inc("ledger.gets", root=root)
+        registry.observe(
+            "ledger.read_seconds", time.perf_counter() - start, root=root
+        )
+        self._account_lookup(True)
         try:
             data = json.loads(raw)
         except json.JSONDecodeError as exc:
@@ -216,6 +283,7 @@ class RunLedger:
         payload kind, ``older_than`` an age in seconds (filters compose
         with AND). ``dry_run`` reports without touching disk.
         """
+        get_registry().inc("ledger.gc_runs", root=str(self.root))
         removed, orphans, tmp_files, corrupt = [], [], [], []
         now = time.time()
         for directory in (self.root / _OBJECTS, self.root / _MODELS):

@@ -1,0 +1,228 @@
+"""Tests for repro.obs.export and the ``repro obs`` CLI family."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import ValidationError
+from repro.obs import (
+    MetricsRegistry,
+    format_metrics,
+    format_trace_summary,
+    read_trace,
+    summarize_trace,
+)
+
+
+def _write_jsonl(path, records):
+    path.write_text(
+        "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+    )
+
+
+def _span(name, duration, pid=1, **attrs):
+    record = {
+        "format": 1, "type": "span", "name": name, "span_id": f"{pid}-x",
+        "parent_id": None, "ts": 0.0, "duration_s": duration, "pid": pid,
+        "status": "ok",
+    }
+    if attrs:
+        record["attrs"] = attrs
+    return record
+
+
+def _metrics(pid, counters=(), histograms=()):
+    return {
+        "format": 1, "type": "metrics", "ts": 0.0, "pid": pid,
+        "metrics": {
+            "counters": list(counters),
+            "gauges": [],
+            "histograms": list(histograms),
+        },
+    }
+
+
+def _counter(name, value, **labels):
+    return {"name": name, "labels": labels, "value": value}
+
+
+class TestReadTrace:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        records = [_span("a", 0.1), _span("b", 0.2)]
+        _write_jsonl(path, records)
+        assert read_trace(path) == records
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="not found"):
+            read_trace(tmp_path / "absent.jsonl")
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps(_span("a", 0.1)) + "\n" + '{"type": "span", "na'
+        )
+        assert [r["name"] for r in read_trace(path)] == ["a"]
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            "garbage not json\n" + json.dumps(_span("a", 0.1)) + "\n"
+        )
+        with pytest.raises(ValidationError, match="line 1"):
+            read_trace(path)
+
+    def test_blank_lines_and_non_dicts_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            "\n" + json.dumps(_span("a", 0.1)) + "\n\n[1, 2]\n"
+        )
+        assert len(read_trace(path)) == 1
+
+
+class TestSummarizeTrace:
+    def test_stage_aggregation(self):
+        records = [
+            _span("plan.solve", 0.1),
+            _span("plan.solve", 0.3),
+            _span("plan.graph", 0.05),
+        ]
+        summary = summarize_trace(records)
+        assert summary["spans"] == 3
+        solve = summary["stages"]["plan.solve"]
+        assert solve["count"] == 2
+        assert solve["total_s"] == pytest.approx(0.4)
+        assert solve["mean_s"] == pytest.approx(0.2)
+        assert solve["max_s"] == pytest.approx(0.3)
+
+    def test_cells_from_last_spec_run_span(self):
+        records = [
+            _span("spec.run", 1.0, total=8, cached=0, computed=8),
+            _span("spec.run", 0.2, total=8, cached=8, computed=0),
+        ]
+        assert summarize_trace(records)["cells"] == {
+            "total": 8, "cached": 8, "computed": 0,
+        }
+
+    def test_ledger_metrics_last_per_pid_summed_across_pids(self):
+        records = [
+            # Two snapshots from pid 1: only the later one counts.
+            _metrics(1, counters=[_counter("ledger.hits", 1.0, root="/s")]),
+            _metrics(1, counters=[
+                _counter("ledger.hits", 5.0, root="/s"),
+                _counter("ledger.misses", 5.0, root="/s"),
+            ]),
+            # A worker pid contributes additively.
+            _metrics(2, counters=[_counter("ledger.hits", 4.0, root="/s")]),
+        ]
+        ledger = summarize_trace(records)["ledger"]
+        assert ledger["hits"] == 9
+        assert ledger["misses"] == 5
+        assert ledger["lookups"] == 14
+        assert ledger["hit_rate"] == pytest.approx(9 / 14)
+
+    def test_solve_cache_counters(self):
+        records = [
+            _metrics(1, counters=[
+                _counter("plan.solve_cache.hits", 3.0, gamma="0.5"),
+                _counter("plan.solve_cache.misses", 1.0, gamma="0.5"),
+                _counter("plan.solve_cache.hits", 2.0, gamma="1"),
+            ]),
+        ]
+        assert summarize_trace(records)["solve_cache"] == {
+            "hits": 5, "misses": 1,
+        }
+
+    def test_empty_sections_are_none(self):
+        summary = summarize_trace([_span("x", 0.1)])
+        assert summary["cells"] is None
+        assert summary["ledger"] is None
+        assert summary["solve_cache"] is None
+
+    def test_process_count(self):
+        records = [_span("a", 0.1, pid=10), _span("b", 0.1, pid=20)]
+        assert summarize_trace(records)["processes"] == 2
+
+    def test_summary_is_json_safe(self):
+        records = [
+            _span("spec.run", 1.0, total=1, cached=0, computed=1),
+            _metrics(1, counters=[_counter("ledger.hits", 1.0)]),
+        ]
+        json.dumps(summarize_trace(records), sort_keys=True)
+
+
+class TestFormatters:
+    def test_format_trace_summary_mentions_everything(self):
+        records = [
+            _span("plan.solve", 0.1),
+            _span("spec.run", 1.0, total=4, cached=3, computed=1),
+            _metrics(1, counters=[
+                _counter("ledger.hits", 3.0, root="/s"),
+                _counter("ledger.misses", 1.0, root="/s"),
+                _counter("plan.solve_cache.hits", 1.0),
+            ]),
+        ]
+        text = format_trace_summary(summarize_trace(records))
+        assert "plan.solve" in text
+        assert "4 total" in text and "3 cached" in text
+        assert "75%" in text
+        assert "solve cache" in text
+
+    def test_format_metrics(self):
+        reg = MetricsRegistry()
+        reg.inc("hits", 2.0, root="/s")
+        reg.set_gauge("depth", 3)
+        reg.observe("lat", 0.5)
+        text = format_metrics(reg.snapshot())
+        assert "counter hits{root=/s} = 2" in text
+        assert "gauge depth = 3" in text
+        assert "histogram lat count=1" in text
+
+    def test_format_metrics_empty(self):
+        assert format_metrics(MetricsRegistry().snapshot()) == (
+            "(no metrics recorded)"
+        )
+
+
+class TestObsCLI:
+    @pytest.fixture
+    def trace_path(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_jsonl(path, [
+            _span("plan.graph", 0.01),
+            _span("spec.run", 0.5, total=2, cached=1, computed=1),
+            _metrics(1, counters=[
+                _counter("ledger.hits", 1.0, root="/s"),
+                _counter("ledger.misses", 1.0, root="/s"),
+            ]),
+        ])
+        return path
+
+    def test_summary_table(self, trace_path, capsys):
+        assert main(["obs", "summary", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "plan.graph" in out
+        assert "2 total" in out
+        assert "50%" in out
+
+    def test_summary_json(self, trace_path, capsys):
+        assert main(["obs", "summary", str(trace_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cells"] == {"total": 2, "cached": 1, "computed": 1}
+        assert payload["stages"]["plan.graph"]["count"] == 1
+
+    def test_tail(self, trace_path, capsys):
+        assert main(["obs", "tail", str(trace_path), "-n", "2"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["name"] == "spec.run"
+        assert json.loads(lines[1])["type"] == "metrics"
+
+    def test_tail_n_larger_than_file(self, trace_path, capsys):
+        assert main(["obs", "tail", str(trace_path), "-n", "99"]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 3
+
+    def test_missing_trace_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["obs", "summary", str(tmp_path / "nope.jsonl")]) == 2
+        assert "not found" in capsys.readouterr().err
