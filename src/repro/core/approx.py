@@ -42,14 +42,16 @@ import scipy.sparse as sp
 
 from .._validation import check_array, check_random_state, check_symmetric
 from ..exceptions import ValidationError
-from ..graphs.knn import _distance_view, knn_cross
+from ..graphs.knn import KNN_BACKENDS, _distance_view, knn_cross
 from ..obs.trace import span
 from .plan import Precomputed, SpectralFitPlan, _stage_digest
+from .trace_optimization import EIG_SOLVERS
 
 __all__ = [
     "LANDMARK_STRATEGIES",
     "LandmarkPlan",
     "check_extension_params",
+    "check_numeric_params",
     "embedding_fidelity",
     "nystrom_extend",
     "plan_for_estimator",
@@ -84,6 +86,34 @@ def check_extension_params(estimator) -> None:
         raise ValidationError(
             f"unknown landmark strategy {estimator.landmark_strategy!r}; "
             f"use one of {LANDMARK_STRATEGIES}"
+        )
+
+
+def check_numeric_params(estimator) -> None:
+    """Validate the raw-speed hyper-parameters shared by PFR and KernelPFR.
+
+    ``knn_backend`` must name a :data:`repro.graphs.knn.KNN_BACKENDS`
+    implementation, ``eig_solver`` a
+    :data:`repro.core.trace_optimization.EIG_SOLVERS` entry, and ``dtype``
+    must resolve to float32 or float64.
+    """
+    if estimator.knn_backend not in KNN_BACKENDS:
+        raise ValidationError(
+            f"knn_backend must be one of {KNN_BACKENDS}; "
+            f"got {estimator.knn_backend!r}"
+        )
+    if estimator.eig_solver not in EIG_SOLVERS:
+        raise ValidationError(
+            f"eig_solver must be one of {EIG_SOLVERS}; "
+            f"got {estimator.eig_solver!r}"
+        )
+    try:
+        dtype_name = np.dtype(estimator.dtype).name
+    except TypeError as exc:
+        raise ValidationError(f"unrecognized dtype {estimator.dtype!r}") from exc
+    if dtype_name not in ("float64", "float32"):
+        raise ValidationError(
+            f"dtype must be 'float64' or 'float32'; got {estimator.dtype!r}"
         )
 
 
@@ -193,6 +223,9 @@ def nystrom_extend(
     n_neighbors: int = 10,
     bandwidth: float | None = None,
     exclude=None,
+    backend: str = "exact",
+    backend_options: dict | None = None,
+    dtype=None,
 ) -> np.ndarray:
     """Graph-smoothing Nyström extension of a landmark embedding.
 
@@ -216,6 +249,10 @@ def nystrom_extend(
     n_neighbors, bandwidth, exclude:
         Forwarded to :func:`repro.graphs.knn_cross`; ``n_neighbors`` is
         clamped to the landmark count.
+    backend, backend_options, dtype:
+        Forwarded to :func:`repro.graphs.knn_cross`. ``dtype=np.float32``
+        keeps the extension weights and output float32 (the extension leg
+        of the float32 pipeline); ``None`` computes in float64 as before.
 
     Returns
     -------
@@ -223,9 +260,12 @@ def nystrom_extend(
         Extended embedding; a query with all-zero weights (heat-kernel
         underflow) falls back to its single nearest landmark's embedding.
     """
-    X_new = check_array(X_new, name="X_new")
-    X_landmarks = check_array(X_landmarks, name="X_landmarks", min_samples=1)
-    Z_landmarks = np.asarray(Z_landmarks, dtype=np.float64)
+    work = np.dtype(np.float64) if dtype is None else np.dtype(dtype)
+    X_new = check_array(X_new, name="X_new", dtype=work)
+    X_landmarks = check_array(
+        X_landmarks, name="X_landmarks", min_samples=1, dtype=work
+    )
+    Z_landmarks = np.asarray(Z_landmarks, dtype=work)
     if Z_landmarks.ndim != 2 or Z_landmarks.shape[0] != X_landmarks.shape[0]:
         raise ValidationError(
             f"Z_landmarks must be (n_landmarks, d) = ({X_landmarks.shape[0]}, d); "
@@ -238,6 +278,9 @@ def nystrom_extend(
         n_neighbors=k,
         bandwidth=bandwidth,
         exclude=exclude,
+        backend=backend,
+        backend_options=backend_options,
+        dtype=work,
     )
     mass = np.asarray(weights.sum(axis=1)).ravel()
     degenerate = mass <= 0.0
@@ -249,9 +292,12 @@ def nystrom_extend(
             n_neighbors=1,
             bandwidth=bandwidth,
             exclude=exclude,
+            backend=backend,
+            backend_options=backend_options,
+            dtype=work,
             binary=True,
         )
-        out = np.zeros((X_new.shape[0], Z_landmarks.shape[1]))
+        out = np.zeros((X_new.shape[0], Z_landmarks.shape[1]), dtype=work)
         out[~degenerate] = (
             (weights[~degenerate] @ Z_landmarks) / mass[~degenerate][:, None]
         )
@@ -329,7 +375,18 @@ class LandmarkPlan:
         exclude_columns=None,
         **structural,
     ):
-        X = check_array(X, name="X", min_samples=2)
+        # Cast to the pipeline dtype before selection so the landmark digest
+        # (which hashes X) and the seeded selection both see the dtype the
+        # subplan will compute in. Unknown dtype strings fall through to the
+        # subplan's validation below.
+        plan_dtype = structural.get("dtype", "float64")
+        try:
+            np_dtype = np.dtype(plan_dtype)
+        except TypeError:
+            np_dtype = np.dtype(np.float64)
+        if np_dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            np_dtype = np.dtype(np.float64)
+        X = check_array(X, name="X", min_samples=2, dtype=np_dtype)
         n = X.shape[0]
         w_fair = check_symmetric(w_fair, name="w_fair")
         if w_fair.shape[0] != n:
@@ -430,6 +487,9 @@ class LandmarkPlan:
                 kernel_bandwidth=estimator.kernel_bandwidth,
                 degree=estimator.degree,
                 coef0=estimator.coef0,
+                knn_backend=estimator.knn_backend,
+                knn_seed=estimator.knn_seed,
+                dtype=estimator.dtype,
                 **landmark_kwargs,
             )
         if isinstance(estimator, PFR):
@@ -446,6 +506,9 @@ class LandmarkPlan:
                 constraint=estimator.constraint,
                 ridge=estimator.ridge,
                 eig_solver=estimator.eig_solver,
+                knn_backend=estimator.knn_backend,
+                knn_seed=estimator.knn_seed,
+                dtype=estimator.dtype,
                 **landmark_kwargs,
             )
         raise ValidationError(
@@ -536,6 +599,13 @@ class LandmarkPlan:
             n_neighbors=min(self.subplan.n_neighbors, len(self.indices_)),
             bandwidth=self.subplan.bandwidth,
             exclude=self.subplan.exclude_columns,
+            backend=self.subplan.knn_backend,
+            backend_options=(
+                {"seed": self.subplan.knn_seed}
+                if self.subplan.knn_backend == "lsh"
+                else None
+            ),
+            dtype=self.subplan._np_dtype,
         )
 
     # ------------------------------------------------------------ digests

@@ -22,7 +22,7 @@ from .._validation import check_array, check_is_fitted
 from ..exceptions import ValidationError
 from ..graphs.knn import median_heuristic, pairwise_sq_distances
 from ..ml.base import BaseEstimator, TransformerMixin
-from .approx import check_extension_params, plan_for_estimator
+from .approx import check_extension_params, check_numeric_params, plan_for_estimator
 
 __all__ = ["KernelPFR", "kernel_matrix"]
 
@@ -41,9 +41,20 @@ def kernel_matrix(
     Supported kernels: ``"linear"`` (x·y), ``"rbf"``
     (``exp(-||x-y||²/t)``, ``t`` = median heuristic when unset) and
     ``"poly"`` (``(x·y + coef0)^degree``).
+
+    When both inputs are float32 the kernel is computed in (and returned
+    as) float32 — the kernel leg of the opt-in float32 pipeline; every
+    other dtype combination computes in float64 as before.
     """
-    X = check_array(X, name="X")
-    Y = X if Y is None else check_array(Y, name="Y")
+    X = check_array(X, name="X", dtype=None)
+    Y = X if Y is None else check_array(Y, name="Y", dtype=None)
+    work = (
+        np.float32
+        if (X.dtype == np.float32 and Y.dtype == np.float32)
+        else np.float64
+    )
+    X = np.asarray(X, dtype=work)
+    Y = np.asarray(Y, dtype=work)
     if X.shape[1] != Y.shape[1]:
         raise ValidationError(
             f"X and Y have different feature counts: {X.shape[1]} vs {Y.shape[1]}"
@@ -113,6 +124,9 @@ class KernelPFR(BaseEstimator, TransformerMixin):
         landmarks: int | None = None,
         landmark_strategy: str = "kmeans++",
         landmark_seed: int = 0,
+        knn_backend: str = "exact",
+        knn_seed: int = 0,
+        dtype: str = "float64",
     ):
         self.n_components = n_components
         self.gamma = gamma
@@ -131,6 +145,9 @@ class KernelPFR(BaseEstimator, TransformerMixin):
         self.landmarks = landmarks
         self.landmark_strategy = landmark_strategy
         self.landmark_seed = landmark_seed
+        self.knn_backend = knn_backend
+        self.knn_seed = knn_seed
+        self.dtype = dtype
 
     def _kernel(self, X, Y) -> np.ndarray:
         return kernel_matrix(
@@ -151,7 +168,8 @@ class KernelPFR(BaseEstimator, TransformerMixin):
         operating points on the same data, build the plan once — see
         :func:`repro.core.fit_path`.
         """
-        X = check_array(X, name="X", min_samples=2)
+        X = check_array(X, name="X", min_samples=2, dtype=None)
+        check_numeric_params(self)
         check_extension_params(self)
         n = X.shape[0]
         if self.extension == "nystrom":
@@ -168,9 +186,13 @@ class KernelPFR(BaseEstimator, TransformerMixin):
         return plan.fit(self)
 
     def transform(self, X) -> np.ndarray:
-        """Project points through the kernel: ``Z = K(X, X_fit) A``."""
+        """Project points through the kernel: ``Z = K(X, X_fit) A``.
+
+        The output dtype follows the fitted model — float32 models
+        kernelize and project in float32.
+        """
         check_is_fitted(self, "alphas_")
-        X = check_array(X, name="X")
+        X = check_array(X, name="X", dtype=self.alphas_.dtype)
         if X.shape[1] != self.n_features_in_:
             raise ValidationError(
                 f"X has {X.shape[1]} features; KernelPFR was fitted with "

@@ -51,11 +51,12 @@ import scipy.sparse as sp
 
 from .._validation import check_array, check_symmetric
 from ..exceptions import ValidationError
-from ..graphs.knn import knn_graph, median_heuristic
+from ..graphs.knn import KNN_BACKENDS, knn_graph, median_heuristic
 from ..graphs.laplacian import laplacian
 from ..obs.metrics import get_registry
 from ..obs.trace import span
 from .trace_optimization import (
+    EIG_SOLVERS,
     objective_matrix,
     sign_normalize,
     smallest_eigenvectors,
@@ -161,6 +162,9 @@ class SpectralFitPlan:
         kernel_bandwidth: float | None = None,
         degree: int = 3,
         coef0: float = 1.0,
+        knn_backend: str = "exact",
+        knn_seed: int = 0,
+        dtype: str = "float64",
     ):
         if kind not in ("linear", "kernel"):
             raise ValidationError(f"kind must be 'linear' or 'kernel'; got {kind!r}")
@@ -175,16 +179,39 @@ class SpectralFitPlan:
             )
         if ridge < 0:
             raise ValidationError(f"ridge must be non-negative; got {ridge}")
+        if eig_solver not in EIG_SOLVERS:
+            raise ValidationError(
+                f"eig_solver must be one of {EIG_SOLVERS}; got {eig_solver!r}"
+            )
+        if knn_backend not in KNN_BACKENDS:
+            raise ValidationError(
+                f"knn_backend must be one of {KNN_BACKENDS}; got {knn_backend!r}"
+            )
+        try:
+            dtype = np.dtype(dtype).name
+        except TypeError as exc:
+            raise ValidationError(f"unrecognized dtype {dtype!r}") from exc
+        if dtype not in ("float64", "float32"):
+            raise ValidationError(
+                f"dtype must be 'float64' or 'float32'; got {dtype!r}"
+            )
+        np_dtype = np.dtype(dtype)
 
-        X = check_array(X, name="X", min_samples=2)
+        X = check_array(X, name="X", min_samples=2, dtype=np_dtype)
         n = X.shape[0]
-        w_fair = check_symmetric(w_fair, name="w_fair")
+        w_fair = check_symmetric(w_fair, name="w_fair", dtype=np_dtype)
+        # Sparse inputs keep their dtype on the default path (digest
+        # stability); only the opt-in float32 pipeline casts them down.
+        if sp.issparse(w_fair) and np_dtype == np.float32 and w_fair.dtype != np_dtype:
+            w_fair = w_fair.astype(np_dtype)
         if w_fair.shape[0] != n:
             raise ValidationError(
                 f"w_fair has {w_fair.shape[0]} nodes but X has {n} samples"
             )
         if w_x is not None:
-            w_x = check_symmetric(w_x, name="w_x")
+            w_x = check_symmetric(w_x, name="w_x", dtype=np_dtype)
+            if sp.issparse(w_x) and np_dtype == np.float32 and w_x.dtype != np_dtype:
+                w_x = w_x.astype(np_dtype)
             if w_x.shape[0] != n:
                 raise ValidationError(
                     f"w_x has {w_x.shape[0]} nodes but X has {n} samples"
@@ -205,6 +232,10 @@ class SpectralFitPlan:
         self.kernel_bandwidth = kernel_bandwidth
         self.degree = degree
         self.coef0 = coef0
+        self.knn_backend = knn_backend
+        self.knn_seed = int(knn_seed)
+        self.dtype = dtype
+        self._np_dtype = np_dtype
 
         self._w_x_input = w_x
         # Set by LandmarkPlan on its internal subplan: an exact plan must
@@ -247,6 +278,9 @@ class SpectralFitPlan:
                 kernel_bandwidth=estimator.kernel_bandwidth,
                 degree=estimator.degree,
                 coef0=estimator.coef0,
+                knn_backend=estimator.knn_backend,
+                knn_seed=estimator.knn_seed,
+                dtype=estimator.dtype,
             )
         if isinstance(estimator, PFR):
             return cls(
@@ -262,6 +296,9 @@ class SpectralFitPlan:
                 constraint=estimator.constraint,
                 ridge=estimator.ridge,
                 eig_solver=estimator.eig_solver,
+                knn_backend=estimator.knn_backend,
+                knn_seed=estimator.knn_seed,
+                dtype=estimator.dtype,
             )
         raise ValidationError(
             f"for_estimator expects a PFR or KernelPFR; got {type(estimator).__name__}"
@@ -307,6 +344,11 @@ class SpectralFitPlan:
                 n_neighbors=min(self.n_neighbors, n - 1),
                 bandwidth=self.bandwidth,
                 exclude=self.exclude_columns,
+                backend=self.knn_backend,
+                backend_options=(
+                    {"seed": self.knn_seed} if self.knn_backend == "lsh" else None
+                ),
+                dtype=self._np_dtype,
             )
         params = {"precomputed_wx": self._w_x_input is not None}
         if self._w_x_input is None:
@@ -322,6 +364,13 @@ class SpectralFitPlan:
                     else tuple(int(c) for c in self.exclude_columns)
                 ),
             )
+            # New knobs enter the digest only when they leave the historical
+            # default — default-path digests must stay byte-stable vs. seed.
+            if self.knn_backend != "exact":
+                params["backend"] = self.knn_backend
+                params["knn_seed"] = self.knn_seed
+        if self.dtype != "float64":
+            params["dtype"] = self.dtype
         digest = _stage_digest(
             "graph", params, {"X": self.X, "w_x": w_x, "w_fair": self.w_fair}
         )
@@ -388,7 +437,7 @@ class SpectralFitPlan:
                 "fitted_bandwidth": None}
         if self.constraint == "z":
             G = X.T @ X
-            data["B"] = G + self.ridge * np.trace(G) / m * np.eye(m)
+            data["B"] = G + self.ridge * np.trace(G) / m * np.eye(m, dtype=G.dtype)
         else:
             data["B"] = None
         return data
@@ -495,7 +544,7 @@ class SpectralFitPlan:
         if proj["symmetrize_mix"]:
             M = 0.5 * (M + M.T)
         if proj["mix_ridge"]:
-            M = M + proj["mix_ridge"] * np.eye(M.shape[0])
+            M = M + proj["mix_ridge"] * np.eye(M.shape[0], dtype=M.dtype)
         return M
 
     @staticmethod
@@ -578,12 +627,22 @@ class SpectralFitPlan:
         proj = self.projection
         M = self._mixed(gamma)
         if proj["B"] is not None:
-            return smallest_eigenvectors(M, d, B=proj["B"])
+            # smallest_eigenvectors solves B-problems dense except for
+            # lobpcg's native generalized support; randomized documents the
+            # dense fallback.
+            return smallest_eigenvectors(M, d, B=proj["B"], solver=self.eig_solver)
         whiten = proj["whiten"]
         if whiten is not None:
             # Pre-whitened generalized problem (kernel ZZᵀ = I): solve the
-            # standard problem, then map back to B-orthonormal vectors.
-            eigenvalues, U = smallest_eigenvectors(M, d, solver="dense")
+            # standard problem, then map back to B-orthonormal vectors. The
+            # iterative solvers apply here too; "auto"/"sparse" keep the
+            # historical dense subset solve (the whitened mix is dense).
+            solver = (
+                self.eig_solver
+                if self.eig_solver in ("lobpcg", "randomized")
+                else "dense"
+            )
+            eigenvalues, U = smallest_eigenvectors(M, d, solver=solver)
             return eigenvalues, sign_normalize(U * whiten[:, None])
         return smallest_eigenvectors(M, d, solver=self.eig_solver)
 
@@ -654,6 +713,7 @@ class SpectralFitPlan:
             "constraint": self.constraint,
             "ridge": self.ridge,
             "eig_solver": self.eig_solver,
+            "dtype": self.dtype,
         }
         if self._w_x_input is None:
             params.update(
@@ -664,6 +724,8 @@ class SpectralFitPlan:
                     if self.exclude_columns is None
                     else tuple(int(c) for c in self.exclude_columns)
                 ),
+                knn_backend=self.knn_backend,
+                knn_seed=self.knn_seed,
             )
         if self.kind == "linear":
             params["normalized_laplacian"] = self.normalized_laplacian
@@ -693,6 +755,10 @@ class SpectralFitPlan:
             value = getattr(estimator, name, None)
             if name == "exclude_columns" and value is not None:
                 value = tuple(int(c) for c in value)
+            if name == "dtype" and value is not None:
+                value = np.dtype(value).name
+            if name == "knn_seed" and value is not None:
+                value = int(value)
             if value != expected:
                 raise ValidationError(
                     f"estimator is structurally incompatible with this plan: "
