@@ -1,0 +1,257 @@
+"""Load benchmark for the HTTP serving tier (repro.serving.http).
+
+Drives a real :class:`~repro.serving.ServingServer` over loopback TCP with
+keep-alive ``http.client`` connections — one persistent connection per
+client thread, the pattern a production sidecar or gateway would use —
+and measures per-request latency (p50/p99) and aggregate rows/sec at
+concurrency **1, 32 and 256**. Every request is a single-row
+``POST /transform`` against a pinned spec, so requests/sec == rows/sec
+and the numbers capture the full network path: parse, dispatch, worker
+hop, transform, JSON response.
+
+Writes machine-readable results to ``benchmarks/output/BENCH_http.json``
+(override with ``REPRO_BENCH_HTTP_JSON``) and asserts the PR's acceptance
+floors: error rate at or below ``REPRO_BENCH_HTTP_MAX_ERROR_RATE``
+(default 0 — the server is provisioned with ``max_queue=512`` so c=256
+must not shed load) and p99 latency at or below
+``REPRO_BENCH_HTTP_P99_MAX`` seconds (default 2.0 — a wide margin so the
+floor only trips on real regressions, not CI noise).
+
+``REPRO_BENCH_SCALE`` (float, default 1.0) scales the request counts for
+smoke runs: CI uses ``REPRO_BENCH_SCALE=0.1``.
+
+Run directly (``python benchmarks/bench_http.py``) or via pytest
+(``pytest benchmarks/bench_http.py``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import PFR, __version__
+from repro.graphs import between_group_quantile_graph
+from repro.serving import ModelRegistry, ServingServer, TransformService
+
+OUTPUT_JSON = Path(
+    os.environ.get(
+        "REPRO_BENCH_HTTP_JSON",
+        Path(__file__).parent / "output" / "BENCH_http.json",
+    )
+)
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+P99_MAX_SECONDS = float(os.environ.get("REPRO_BENCH_HTTP_P99_MAX", "2.0"))
+MAX_ERROR_RATE = float(os.environ.get("REPRO_BENCH_HTTP_MAX_ERROR_RATE", "0.0"))
+
+N_TRAIN = 2000
+N_FEATURES = 12
+N_COMPONENTS = 4
+CONCURRENCY_LEVELS = (1, 32, 256)
+#: Requests per client thread at each level, before SCALE. Low-concurrency
+#: levels send more per thread so every level has a statistically useful
+#: request count without the c=256 level taking minutes.
+REQUESTS_PER_CLIENT = {1: 400, 32: 60, 256: 20}
+#: Distinct query rows the clients cycle through (shared pool, so after
+#: the first lap the LRU serves hits — the heavy-tailed online shape).
+N_DISTINCT_ROWS = 512
+
+SERVER_WORKERS = 8
+SERVER_MAX_QUEUE = 512
+
+
+def _fitted_model(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(N_TRAIN, N_FEATURES))
+    s = rng.integers(0, 2, N_TRAIN)
+    scores = X[:, 0] + rng.normal(scale=0.5, size=N_TRAIN)
+    w_fair = between_group_quantile_graph(scores, s, n_quantiles=10)
+    model = PFR(n_components=N_COMPONENTS, gamma=0.7).fit(X, w_fair)
+    return model, rng
+
+
+def _client_worker(host, port, spec, bodies, n_requests, start_barrier,
+                   latencies, errors, index):
+    """One keep-alive connection issuing ``n_requests`` single-row posts."""
+    times = []
+    n_errors = 0
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        start_barrier.wait()
+        for i in range(n_requests):
+            body = bodies[(index + i) % len(bodies)]
+            begin = time.perf_counter()
+            try:
+                connection.request("POST", "/transform", body=body)
+                response = connection.getresponse()
+                response.read()
+                status = response.status
+            except OSError:
+                # Connection-level failure: count it and reconnect.
+                status = -1
+                connection.close()
+                connection = http.client.HTTPConnection(host, port, timeout=30)
+            times.append(time.perf_counter() - begin)
+            if status != 200:
+                n_errors += 1
+    finally:
+        connection.close()
+    latencies[index] = times
+    errors[index] = n_errors
+
+
+def _bench_level(server, spec, bodies, concurrency) -> dict:
+    """Latency/throughput for ``concurrency`` persistent client threads."""
+    per_client = max(1, int(round(REQUESTS_PER_CLIENT[concurrency] * SCALE)))
+    latencies = [None] * concurrency
+    errors = [0] * concurrency
+    # +1 slot: the coordinator releases the clients and starts the clock
+    # at the same instant, so connection setup is outside the measurement.
+    start_barrier = threading.Barrier(concurrency + 1)
+    threads = [
+        threading.Thread(
+            target=_client_worker,
+            args=(server.host, server.port, spec, bodies, per_client,
+                  start_barrier, latencies, errors, index),
+        )
+        for index in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    start_barrier.wait()
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+
+    all_times = np.array([t for times in latencies for t in times])
+    n_requests = int(all_times.size)
+    n_errors = int(sum(errors))
+    return {
+        "concurrency": concurrency,
+        "requests": n_requests,
+        "errors": n_errors,
+        "error_rate": n_errors / n_requests if n_requests else 0.0,
+        "wall_seconds": wall,
+        "rows_per_sec": n_requests / wall if wall > 0 else float("inf"),
+        "latency_p50_ms": float(np.percentile(all_times, 50)) * 1e3,
+        "latency_p99_ms": float(np.percentile(all_times, 99)) * 1e3,
+        "latency_mean_ms": float(all_times.mean()) * 1e3,
+    }
+
+
+def run_benchmark(registry_root) -> dict:
+    model, rng = _fitted_model()
+    registry = ModelRegistry(registry_root)
+    record = registry.register("pfr-http-bench", model)
+    spec = record.spec  # pinned name@version — production pattern
+
+    rows = rng.normal(size=(N_DISTINCT_ROWS, N_FEATURES))
+    bodies = [
+        json.dumps({"model": spec, "row": row.tolist()}).encode("utf-8")
+        for row in rows
+    ]
+
+    service = TransformService(registry)
+    results = {}
+    with ServingServer(
+        service,
+        n_workers=SERVER_WORKERS,
+        max_queue=SERVER_MAX_QUEUE,
+    ) as server:
+        # Warm up: load the model, JIT the code paths, fill the row cache.
+        _bench_level(server, spec, bodies, 1)
+        for concurrency in CONCURRENCY_LEVELS:
+            results[f"c{concurrency}"] = _bench_level(
+                server, spec, bodies, concurrency
+            )
+
+    return {
+        "benchmark": "http_serving",
+        "library_version": __version__,
+        "timestamp": time.time(),
+        "config": {
+            "n_train": N_TRAIN,
+            "n_features": N_FEATURES,
+            "n_components": N_COMPONENTS,
+            "n_distinct_rows": N_DISTINCT_ROWS,
+            "scale": SCALE,
+            "server_workers": SERVER_WORKERS,
+            "server_max_queue": SERVER_MAX_QUEUE,
+            "concurrency_levels": list(CONCURRENCY_LEVELS),
+            "requests_per_client": dict(REQUESTS_PER_CLIENT),
+        },
+        "floors": {
+            "p99_max_seconds": P99_MAX_SECONDS,
+            "max_error_rate": MAX_ERROR_RATE,
+        },
+        "results": results,
+    }
+
+
+def check_floors(payload: dict) -> list[str]:
+    """Floor violations (empty list == pass)."""
+    failures = []
+    for key, entry in payload["results"].items():
+        if entry["error_rate"] > MAX_ERROR_RATE:
+            failures.append(
+                f"{key}: error rate {entry['error_rate']:.4f} exceeds "
+                f"{MAX_ERROR_RATE}"
+            )
+        if entry["latency_p99_ms"] > P99_MAX_SECONDS * 1e3:
+            failures.append(
+                f"{key}: p99 {entry['latency_p99_ms']:.1f} ms exceeds "
+                f"{P99_MAX_SECONDS * 1e3:.0f} ms"
+            )
+    return failures
+
+
+def write_results(payload: dict) -> Path:
+    OUTPUT_JSON.parent.mkdir(parents=True, exist_ok=True)
+    OUTPUT_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return OUTPUT_JSON
+
+
+def test_http_serving_floors(tmp_path):
+    payload = run_benchmark(tmp_path / "registry")
+    path = write_results(payload)
+    assert path.is_file()
+    assert not check_floors(payload)
+    # All three levels actually ran and did real work.
+    assert set(payload["results"]) == {"c1", "c32", "c256"}
+    for entry in payload["results"].values():
+        assert entry["requests"] >= entry["concurrency"]
+        assert entry["rows_per_sec"] > 0
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as root:
+        payload = run_benchmark(Path(root) / "registry")
+    path = write_results(payload)
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {path}", file=sys.stderr)
+    for key, entry in payload["results"].items():
+        print(
+            f"{key:>5}: {entry['rows_per_sec']:10.0f} rows/s   "
+            f"p50 {entry['latency_p50_ms']:7.2f} ms   "
+            f"p99 {entry['latency_p99_ms']:7.2f} ms   "
+            f"errors {entry['errors']}/{entry['requests']}",
+            file=sys.stderr,
+        )
+    failures = check_floors(payload)
+    for failure in failures:
+        print(f"FLOOR VIOLATION: {failure}", file=sys.stderr)
+    print("PASS" if not failures else "FAIL", file=sys.stderr)
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""Exercise a running ``python -m repro serve`` instance — stdlib only.
+
+Start a server against a registry with at least one fitted transformer::
+
+    python -m repro serve --registry models/ --port 8321
+
+then point this client at it::
+
+    python examples/http_client.py --url http://127.0.0.1:8321
+
+The client walks the whole HTTP surface: health check, model listing,
+single-row and batch transforms, a promote round-trip (only when the
+model has at least two versions — it restores the original ``latest``
+before exiting), and a Prometheus metrics scrape. It exits non-zero on
+the first inconsistent response, so CI can use it as a smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+from urllib.parse import urlparse
+
+
+class Client:
+    """A thin keep-alive JSON client for the repro serving API."""
+
+    def __init__(self, url: str):
+        parsed = urlparse(url)
+        self.conn = http.client.HTTPConnection(
+            parsed.hostname, parsed.port or 80, timeout=30
+        )
+
+    def request(self, method: str, path: str, payload=None, expect=200):
+        body = None if payload is None else json.dumps(payload)
+        self.conn.request(method, path, body=body)
+        response = self.conn.getresponse()
+        raw = response.read()
+        if response.headers.get("Content-Type", "").startswith("application/json"):
+            data = json.loads(raw)
+        else:
+            data = raw.decode("utf-8")
+        if response.status != expect:
+            raise SystemExit(
+                f"{method} {path}: expected {expect}, got "
+                f"{response.status}: {data}"
+            )
+        return data
+
+    def close(self):
+        self.conn.close()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", default="http://127.0.0.1:8321")
+    parser.add_argument(
+        "--model", default=None,
+        help="model name to exercise (default: first registered model)",
+    )
+    args = parser.parse_args()
+    client = Client(args.url)
+
+    health = client.request("GET", "/healthz")
+    print(f"healthz: {health['status']} "
+          f"({health['workers']} workers, max_queue={health['max_queue']})")
+
+    models = client.request("GET", "/models")["models"]
+    if not models:
+        raise SystemExit("registry is empty — register a model first")
+    if args.model is not None:
+        matches = [m for m in models if m["name"] == args.model]
+        if not matches:
+            raise SystemExit(f"model {args.model!r} is not registered")
+        record = matches[0]
+    else:
+        record = models[0]
+    name = record["name"]
+    n_features = record["n_features_in"]
+    print(f"model: {record['spec']} ({record['model_type']}, "
+          f"{n_features} features)")
+
+    # Deterministic query rows: enough to prove shapes round-trip.
+    row = [float(i % 7 - 3) / 3.0 for i in range(n_features)]
+    single = client.request(
+        "POST", "/transform", {"model": name, "row": row}
+    )
+    print(f"transform row   -> {single['model']}: "
+          f"{len(single['row'])} components")
+
+    rows = [[v * scale for v in row] for scale in (0.5, 1.0, 2.0)]
+    batch = client.request(
+        "POST", "/transform", {"model": f"{name}@latest", "rows": rows}
+    )
+    if len(batch["rows"]) != len(rows):
+        raise SystemExit(
+            f"batch transform returned {len(batch['rows'])} rows for "
+            f"{len(rows)} inputs"
+        )
+    print(f"transform batch -> {batch['model']}: {len(batch['rows'])} rows")
+
+    detail = client.request("GET", f"/models/{name}")
+    versions = detail["all_versions"]
+    if len(versions) >= 2:
+        original = detail["version"]
+        other = next(v for v in versions if v != original)
+        promoted = client.request(
+            "POST", f"/models/{name}/promote", {"version": other}
+        )
+        if not promoted["is_latest"] or promoted["version"] != other:
+            raise SystemExit(f"promote did not take: {promoted}")
+        flipped = client.request(
+            "POST", "/transform", {"model": f"{name}@latest", "row": row}
+        )
+        if flipped["model"] != f"{name}@{other}":
+            raise SystemExit(
+                f"@latest still serves {flipped['model']} after promoting "
+                f"version {other}"
+            )
+        client.request(
+            "POST", f"/models/{name}/promote", {"version": original}
+        )
+        print(f"promote: v{original} -> v{other} -> v{original} "
+              "(latest follows, then restored)")
+    else:
+        print("promote: skipped (single version registered)")
+
+    metrics = client.request("GET", "/metrics")
+    wanted = ("repro_http_requests_total", "repro_serving_rows_total")
+    for metric in wanted:
+        if metric not in metrics:
+            raise SystemExit(f"metrics scrape is missing {metric}")
+    n_lines = len([l for l in metrics.splitlines() if not l.startswith("#")])
+    print(f"metrics: {n_lines} samples scraped "
+          f"({', '.join(wanted)} present)")
+
+    client.close()
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

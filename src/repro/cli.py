@@ -24,6 +24,7 @@ Usage::
     python -m repro models show NAME[@VERSION] [--registry DIR]
     python -m repro models promote NAME VERSION [--registry DIR]
     python -m repro transform NAME[@VERSION] --input rows.csv [--output z.csv]
+    python -m repro serve [--registry DIR] [--port 8321] [--workers 8]
 
     python -m repro obs summary trace.jsonl [--json]
     python -m repro obs tail trace.jsonl [-n 20]
@@ -163,6 +164,28 @@ def build_parser() -> argparse.ArgumentParser:
     promote.add_argument("name")
     promote.add_argument("version", type=int)
     promote.add_argument("--registry", default=None)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve registered models over HTTP (asyncio, stdlib)"
+    )
+    serve.add_argument("--registry", default=None, help="registry directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="bind port (0 picks an ephemeral one; default 8321)")
+    serve.add_argument("--workers", type=int, default=8,
+                       help="request worker threads (default 8)")
+    serve.add_argument("--cache-size", type=int, default=100_000,
+                       help="per-model LRU result-cache rows (default 100000)")
+    serve.add_argument("--max-queue", type=int, default=512,
+                       help="admitted in-flight requests before 429 (default 512)")
+    serve.add_argument("--max-body-mb", type=float, default=8.0,
+                       help="request-body ceiling in MiB before 413 (default 8)")
+    serve.add_argument("--timeout", type=float, default=30.0,
+                       help="per-request seconds before 503 (default 30)")
+    serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="append a JSONL trace of request spans to PATH",
+    )
 
     experiments = subparsers.add_parser(
         "experiments",
@@ -446,6 +469,48 @@ def _cmd_models(args) -> int:
     record = registry.promote(args.name, args.version)
     print(f"promoted {record.spec} to latest")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serving import ServingServer, TransformService
+
+    service = TransformService(_registry(args), cache_size=args.cache_size)
+    server = ServingServer(
+        service,
+        host=args.host,
+        port=args.port,
+        n_workers=args.workers,
+        max_queue=args.max_queue,
+        max_body_bytes=int(args.max_body_mb * 1024 * 1024),
+        request_timeout=args.timeout,
+    )
+    server.start()
+    try:
+        print(
+            f"serving registry {service.registry.root} on {server.url} "
+            f"({args.workers} workers, max_queue={args.max_queue}); "
+            "Ctrl-C to stop",
+            flush=True,
+        )
+        if args.trace:
+            from .obs import tracing
+
+            with tracing(args.trace, registry=service.metrics):
+                threading_event_wait()
+        else:
+            threading_event_wait()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.close()
+    return 0
+
+
+def threading_event_wait() -> None:
+    """Block the main thread until KeyboardInterrupt (testable seam)."""
+    import threading
+
+    threading.Event().wait()
 
 
 def _parse_workers(value):
@@ -783,6 +848,13 @@ def main(argv=None) -> int:
         try:
             return _cmd_models(args)
         except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.command == "serve":
+        try:
+            return _cmd_serve(args)
+        except (ReproError, OSError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 

@@ -51,6 +51,7 @@ from .trace import (
 )
 from .export import (
     format_metrics,
+    format_prometheus,
     format_trace_summary,
     read_trace,
     summarize_trace,
@@ -75,6 +76,7 @@ __all__ = [
     "trace_enabled",
     "tracing",
     "format_metrics",
+    "format_prometheus",
     "format_trace_summary",
     "read_trace",
     "summarize_trace",

@@ -14,12 +14,14 @@ that rule yields their final state).
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 
 from ..exceptions import ValidationError
 
 __all__ = [
     "format_metrics",
+    "format_prometheus",
     "format_trace_summary",
     "read_trace",
     "summarize_trace",
@@ -211,6 +213,69 @@ def format_trace_summary(summary: dict) -> str:
             f"solve cache: {solve['hits']} hits, {solve['misses']} misses"
         )
     return "\n".join(lines)
+
+
+_PROM_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str, suffix: str = "") -> str:
+    """A legal Prometheus metric name: ``repro_`` + sanitized + suffix."""
+    return f"repro_{_PROM_BAD_CHARS.sub('_', str(name))}{suffix}"
+
+
+def _prom_labels(labels: dict, extra: tuple = ()) -> str:
+    """Render a label dict (plus extra (k, v) pairs) as ``{k="v",...}``."""
+    items = [*sorted((str(k), str(v)) for k, v in labels.items()), *extra]
+    if not items:
+        return ""
+    escaped = ",".join(
+        key + '="'
+        + value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        + '"'
+        for key, value in items
+    )
+    return "{" + escaped + "}"
+
+
+def format_prometheus(snapshot: dict) -> str:
+    """Prometheus text-format rendering of a registry snapshot.
+
+    This is what a serving replica's ``GET /metrics`` endpoint returns:
+    counters become ``repro_<name>_total``, gauges map straight through,
+    and the deterministic log-bucket histograms are exported as summaries
+    (``quantile`` labels for p50/p90/p99 plus ``_count``/``_sum``), since
+    their quantiles are already exact functions of the observed values.
+    Series order follows the snapshot (sorted), so two scrapes of
+    identical state are byte-identical.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def _type_line(metric: str, kind: str) -> None:
+        if metric not in typed:
+            typed.add(metric)
+            lines.append(f"# TYPE {metric} {kind}")
+
+    for entry in snapshot.get("counters", ()):
+        metric = _prom_name(entry["name"], "_total")
+        _type_line(metric, "counter")
+        lines.append(f"{metric}{_prom_labels(entry['labels'])} {entry['value']:g}")
+    for entry in snapshot.get("gauges", ()):
+        metric = _prom_name(entry["name"])
+        _type_line(metric, "gauge")
+        lines.append(f"{metric}{_prom_labels(entry['labels'])} {entry['value']:g}")
+    for entry in snapshot.get("histograms", ()):
+        metric = _prom_name(entry["name"])
+        _type_line(metric, "summary")
+        for quantile, key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
+            label_text = _prom_labels(
+                entry["labels"], extra=(("quantile", quantile),)
+            )
+            lines.append(f"{metric}{label_text} {entry[key]:g}")
+        label_text = _prom_labels(entry["labels"])
+        lines.append(f"{metric}_count{label_text} {entry['count']:g}")
+        lines.append(f"{metric}_sum{label_text} {entry['sum']:g}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def format_metrics(snapshot: dict) -> str:

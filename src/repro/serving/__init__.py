@@ -14,6 +14,11 @@ service. This package operationalizes that claim:
 * :class:`LRUCache` — digest-keyed result cache for heavy-tailed traffic.
 * :class:`TransformService` — the thread-safe façade tying the above
   together, with hit/miss/latency counters.
+* :class:`ServingServer` — a stdlib asyncio HTTP front end over one
+  shared service replica (``POST /transform``, model list/show/promote,
+  ``/healthz``, Prometheus ``/metrics``), with bounded queues and
+  per-request timeouts so overload degrades to 429/503; also the
+  ``python -m repro serve`` CLI.
 
 Quickstart::
 
@@ -28,6 +33,7 @@ Quickstart::
 
 from .batching import BatchTransformer, MicroBatcher
 from .cache import LRUCache, matrix_digests, row_digest
+from .http import ServingServer
 from .registry import ModelRecord, ModelRegistry
 from .service import TransformService
 
@@ -39,5 +45,6 @@ __all__ = [
     "matrix_digests",
     "ModelRecord",
     "ModelRegistry",
+    "ServingServer",
     "TransformService",
 ]

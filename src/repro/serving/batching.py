@@ -118,6 +118,7 @@ class MicroBatcher:
         self.n_features = n_features
         self._queue: queue.Queue[_Request | None] = queue.Queue()
         self._closed = False
+        self._worker_error: BaseException | None = None
         # Makes the closed-check + enqueue atomic against close(): without
         # it a submit could slip its request onto the queue after the
         # shutdown sentinel and block forever on an event nobody will set.
@@ -145,6 +146,12 @@ class MicroBatcher:
         request = _Request(row)
         with self._submit_lock:
             if self._closed:
+                if self._worker_error is not None:
+                    raise ValidationError(
+                        "MicroBatcher is closed: its worker died on "
+                        f"{type(self._worker_error).__name__}: "
+                        f"{self._worker_error}"
+                    )
                 raise ValidationError("MicroBatcher is closed")
             self._queue.put(request)
         request.done.wait()
@@ -202,6 +209,31 @@ class MicroBatcher:
             batch.append(item)
         return batch
 
+    def _abort(self, cause: BaseException) -> None:
+        """Mark the batcher dead and fail every queued request.
+
+        Runs (on the worker thread) when the worker is about to die on a
+        ``BaseException``. Holding ``_submit_lock`` across the close-mark
+        *and* the queue drain means no ``submit`` can slip a request in
+        between: it either enqueued before (and is drained and failed
+        here) or checks ``_closed`` after (and raises immediately).
+        """
+        with self._submit_lock:
+            self._closed = True
+            self._worker_error = cause
+            while True:
+                try:
+                    pending = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if pending is None:
+                    continue  # shutdown sentinel from a concurrent close()
+                pending.error = ValidationError(
+                    "MicroBatcher worker died before serving this request "
+                    f"({type(cause).__name__}: {cause})"
+                )
+                pending.done.set()
+
     def _run(self) -> None:
         while True:
             batch = self._gather()
@@ -220,9 +252,23 @@ class MicroBatcher:
                     # array in memory for as long as any caller keeps its
                     # single-row result.
                     request.result = np.array(result)
-            except Exception as exc:  # fan the failure out to every caller
+            except BaseException as exc:  # fan the failure out to every caller
+                # BaseException included: a KeyboardInterrupt/SystemExit
+                # landing inside transform_fn used to escape this handler,
+                # leaving the batch's callers a None result and — because
+                # the worker thread died — every *future* submit() parked
+                # forever on done.wait(). Now the batch still gets the
+                # error, the batcher is marked closed with the queue
+                # drained, and submit() raises instead of hanging.
                 for request in batch:
                     request.error = exc
+                if not isinstance(exc, Exception):
+                    # The worker cannot survive a BaseException; die quietly
+                    # (the exception already reached every caller via
+                    # request.error, so re-raising would only spam the
+                    # threading excepthook) after failing the queue.
+                    self._abort(exc)
+                    return
             finally:
                 self._n_batches += 1
                 self._n_rows += len(batch)

@@ -86,8 +86,13 @@ class TransformService:
         self._models: dict[tuple[str, int], _ServedModel] = {}
         # Pinned name@version specs are immutable, so their resolution is
         # memoized; bare names / @latest re-resolve through the registry
-        # every call so promotions take effect immediately.
+        # every call so promotions take effect immediately. The memo dict
+        # has its own lock (not _load_lock): resolution must never wait on
+        # a slow model deserialization, and every read-check-write on the
+        # dict happens under it so concurrent first resolutions cannot
+        # interleave a torn mutation.
         self._resolved: dict[str, tuple[str, int]] = {}
+        self._resolve_lock = threading.Lock()
         self._load_lock = threading.Lock()
 
     # ------------------------------------------------------------ serving
@@ -98,7 +103,20 @@ class TransformService:
         is an ``(n, m)`` matrix whose width must match the registered input
         schema. Cached rows skip the model entirely.
         """
+        return self._transform_batch(self._served(spec), X)
+
+    def transform_versioned(self, spec: str, X) -> tuple[str, np.ndarray]:
+        """Like :meth:`transform`, returning ``(resolved_spec, Z)``.
+
+        ``resolved_spec`` is the pinned ``name@version`` that actually
+        produced ``Z``. The spec is resolved exactly once, so under a
+        concurrent ``promote`` the label and the rows can never disagree —
+        the guarantee an HTTP front end surfaces to its clients.
+        """
         served = self._served(spec)
+        return served.record.spec, self._transform_batch(served, X)
+
+    def _transform_batch(self, served: _ServedModel, X) -> np.ndarray:
         X = self._checked_matrix(served.record, X)
         start = time.perf_counter()
         if trace_enabled():
@@ -122,12 +140,23 @@ class TransformService:
         instead of corrupting the cached entry. Copy it if you need a
         scratch buffer.
         """
+        return self._transform_one(self._served(spec), row)
+
+    def transform_one_versioned(self, spec: str, row) -> tuple[str, np.ndarray]:
+        """Like :meth:`transform_one`, returning ``(resolved_spec, z)``.
+
+        One resolution covers both the label and the computation, exactly
+        like :meth:`transform_versioned`.
+        """
+        served = self._served(spec)
+        return served.record.spec, self._transform_one(served, row)
+
+    def _transform_one(self, served: _ServedModel, row) -> np.ndarray:
         row = np.asarray(row, dtype=np.float64)
         if row.ndim != 1:
             raise ValidationError(
                 f"transform_one expects a 1-D row; got ndim={row.ndim}"
             )
-        served = self._served(spec)
         expected = served.record.n_features_in
         if expected is not None and row.shape[0] != expected:
             raise ValidationError(
@@ -136,7 +165,14 @@ class TransformService:
                 f"{served.record.model_type} expects {expected}"
             )
         if not self.cache_size:
-            return self.transform(spec, row[None, :])[0]
+            result = self._transform_batch(served, row[None, :])[0]
+            # Freeze the no-cache path too: the documented contract is
+            # that mutability must not depend on cache state, and a row
+            # that is writable only when caching is off would let callers
+            # grow a mutation habit that turns into ValueError (or silent
+            # cache corruption) the day a cache is configured.
+            result.setflags(write=False)
+            return result
         start = time.perf_counter()
         key = row_digest(row)
         hit = served.cache.get(key)
@@ -258,13 +294,29 @@ class TransformService:
             self._models.pop((name, version), None)
 
     # ------------------------------------------------------------ internal
+    def _resolve(self, spec: str) -> tuple[str, int]:
+        """Resolve ``spec``, memoizing pinned ``name@version`` forms.
+
+        Every read and write of the ``_resolved`` memo happens under its
+        dedicated lock — the registry round-trip for a cold spec runs
+        outside it (so a slow resolve never serializes the hot path), and
+        two threads racing the same first resolution both compute the
+        same immutable answer, with ``setdefault`` keeping the insert
+        atomic.
+        """
+        with self._resolve_lock:
+            key = self._resolved.get(spec)
+        if key is not None:
+            return key
+        key = self.registry.resolve(spec)
+        selector = str(spec).partition("@")[2]
+        if selector not in ("", "latest"):
+            with self._resolve_lock:
+                key = self._resolved.setdefault(spec, key)
+        return key
+
     def _served(self, spec: str) -> _ServedModel:
-        key = self._resolved.get(spec)
-        if key is None:
-            key = self.registry.resolve(spec)
-            selector = str(spec).partition("@")[2]
-            if selector not in ("", "latest"):
-                self._resolved[spec] = key
+        key = self._resolve(spec)
         name, version = key
         served = self._models.get(key)
         if served is not None:

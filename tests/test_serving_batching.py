@@ -1,6 +1,7 @@
 """Tests for repro.serving.batching — chunked bulk and micro-batched paths."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -140,3 +141,91 @@ class TestMicroBatcher:
         with MicroBatcher(lambda X: X[:0], max_wait=0.001) as batcher:
             with pytest.raises(ValidationError, match="rows for a batch"):
                 batcher.submit(np.zeros(3))
+
+
+class TestWorkerDeath:
+    """Regression: a BaseException in transform_fn used to kill the worker
+    silently — the interrupted batch's callers got ``None`` back and every
+    *future* submit() parked forever on ``done.wait()``."""
+
+    @staticmethod
+    def _submit_in_thread(batcher, row, timeout=5.0):
+        """Run submit() off-thread so a regression hangs the helper thread,
+        not the test; return (outcome, value)."""
+        box = {}
+
+        def call():
+            try:
+                box["result"] = batcher.submit(row)
+            except BaseException as exc:  # noqa: BLE001 - the point of the test
+                box["error"] = exc
+
+        thread = threading.Thread(target=call, daemon=True)
+        thread.start()
+        thread.join(timeout)
+        assert not thread.is_alive(), "submit() hung — worker death not fanned out"
+        return box
+
+    def test_base_exception_reaches_caller(self):
+        def interrupted(X):
+            raise KeyboardInterrupt("ctrl-c mid-batch")
+
+        batcher = MicroBatcher(interrupted, max_wait=0.001)
+        box = self._submit_in_thread(batcher, np.zeros(3))
+        assert isinstance(box.get("error"), KeyboardInterrupt)
+
+    def test_submit_after_worker_death_raises_instead_of_hanging(self):
+        def interrupted(X):
+            raise KeyboardInterrupt
+
+        batcher = MicroBatcher(interrupted, max_wait=0.001)
+        self._submit_in_thread(batcher, np.zeros(3))  # kills the worker
+        batcher._worker.join(5.0)
+        assert not batcher._worker.is_alive()
+        # The batcher is now closed: later submits fail fast with a
+        # diagnostic instead of blocking forever on a dead worker.
+        box = self._submit_in_thread(batcher, np.zeros(3))
+        error = box.get("error")
+        assert isinstance(error, ValidationError)
+        assert "worker died" in str(error)
+        batcher.close()  # still idempotent after an abort
+
+    def test_queued_requests_fail_when_worker_dies(self):
+        release = threading.Event()
+        calls = []
+
+        def slow_then_dead(X):
+            calls.append(X.shape[0])
+            release.wait(5.0)
+            raise SystemExit
+
+        batcher = MicroBatcher(slow_then_dead, max_batch_size=1,
+                               max_wait=0.0)
+        boxes = [{} for _ in range(3)]
+
+        def call(box):
+            try:
+                box["result"] = batcher.submit(np.zeros(3))
+            except BaseException as exc:  # noqa: BLE001
+                box["error"] = exc
+
+        threads = [
+            threading.Thread(target=call, args=(box,), daemon=True)
+            for box in boxes
+        ]
+        threads[0].start()
+        while not calls:  # first request is inside transform_fn
+            time.sleep(0.001)
+        for thread in threads[1:]:  # these queue up behind it
+            thread.start()
+        while batcher._queue.qsize() < 2:
+            time.sleep(0.001)
+        release.set()  # first batch now dies on SystemExit
+        for thread in threads:
+            thread.join(5.0)
+            assert not thread.is_alive(), "queued submit hung after worker death"
+        errors = [box.get("error") for box in boxes]
+        assert isinstance(errors[0], SystemExit)
+        for error in errors[1:]:
+            assert isinstance(error, ValidationError)
+            assert "worker died" in str(error)

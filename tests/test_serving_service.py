@@ -151,6 +151,18 @@ class TestCaching:
         totals = service.stats()["totals"]
         assert totals["cache_hits"] == 0
 
+    def test_transform_one_readonly_with_cache_disabled(self, setup, rng):
+        # Regression: with cache_size=0 transform_one used to return a
+        # *writable* row, so mutability depended on cache state — the exact
+        # thing the documented contract forbids.
+        registry, model, _ = setup
+        service = TransformService(registry, cache_size=0)
+        row = rng.normal(size=5)
+        result = service.transform_one("pfr", row)
+        with pytest.raises(ValueError):
+            result[0] = -999.0
+        np.testing.assert_allclose(result, model.transform(row[None])[0])
+
 
 class TestLifecycle:
     def test_loaded_models_and_evict(self, setup, rng):
@@ -211,6 +223,105 @@ class TestLifecycle:
             thread.join()
         assert not errors
         assert service.stats()["totals"]["rows"] == 8 * 64
+
+
+class TestConcurrentResolution:
+    def test_many_threads_first_resolution(self, setup, rng):
+        # Regression: _served() used to read-check-write self._resolved
+        # outside _load_lock, so many threads racing the very first
+        # resolution of a pinned spec could interleave mutations of the
+        # memo dict. Hammer a cold service with distinct pinned specs from
+        # many threads and check every answer is correct and the memo is
+        # consistent afterwards.
+        registry, model, X = setup
+        for _ in range(7):  # versions 2..8 of the same fitted model
+            registry.register("pfr", model)
+        service = TransformService(registry)
+        specs = [f"pfr@{v}" for v in range(1, 9)]
+        expected = model.transform(X[:3])
+        barrier = threading.Barrier(32)
+        errors = []
+
+        def client(i):
+            barrier.wait()
+            spec = specs[i % len(specs)]
+            try:
+                np.testing.assert_allclose(
+                    service.transform(spec, X[:3]), expected
+                )
+            except Exception as exc:  # pragma: no cover - only on failure
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(32)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Every pinned spec resolved exactly once into a consistent memo.
+        assert service._resolved == {
+            f"pfr@{v}": ("pfr", v) for v in range(1, 9)
+        }
+
+    def test_latest_never_memoized(self, setup, rng):
+        registry, *_ = setup
+        service = TransformService(registry)
+        service.transform("pfr", rng.normal(size=(2, 5)))
+        service.transform("pfr@latest", rng.normal(size=(2, 5)))
+        assert service._resolved == {}
+
+
+class TestPromoteUnderLoad:
+    def test_versioned_transform_is_never_torn(self, setup, rng):
+        # While promote() flips @latest back and forth, every
+        # transform_versioned() answer must match the *label's* expected
+        # output — a mixed (label from one version, rows from the other)
+        # response means the resolve raced the transform.
+        registry, model_v1, X = setup
+        WF = pairwise_judgment_graph([(2, 3)], n=60)
+        model_v2 = PFR(n_components=3, gamma=0.2, n_neighbors=4).fit(X, WF)
+        registry.register("pfr", model_v2)  # becomes pfr@2 = latest
+        service = TransformService(registry)
+        Xq = rng.normal(size=(4, 5))
+        expected = {
+            "pfr@1": model_v1.transform(Xq),
+            "pfr@2": model_v2.transform(Xq),
+        }
+        stop = threading.Event()
+        errors = []
+
+        def flipper():
+            version = 1
+            while not stop.is_set():
+                registry.promote("pfr", version)
+                version = 3 - version
+
+        def client():
+            count = 0
+            try:
+                while count < 200 and not errors:
+                    spec, Z = service.transform_versioned("pfr@latest", Xq)
+                    np.testing.assert_allclose(Z, expected[spec])
+                    row_spec, z = service.transform_one_versioned(
+                        "pfr@latest", Xq[0]
+                    )
+                    np.testing.assert_allclose(z, expected[row_spec][0])
+                    count += 1
+            except Exception as exc:  # pragma: no cover - only on failure
+                errors.append(exc)
+
+        flip = threading.Thread(target=flipper)
+        clients = [threading.Thread(target=client) for _ in range(4)]
+        flip.start()
+        for thread in clients:
+            thread.start()
+        for thread in clients:
+            thread.join()
+        stop.set()
+        flip.join()
+        assert not errors
 
 
 class TestNonTransformer:
