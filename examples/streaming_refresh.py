@@ -1,0 +1,136 @@
+"""Online refresh: drift detection and auto re-promotion on a live stream.
+
+A landmark PFR is fitted once, registered, and served. Then the serving
+distribution shifts. This example walks the closed production loop
+(`repro.lifecycle`):
+
+1. fit a landmark plan and register the model (ledger + registry);
+2. stream in-distribution batches — scores stay above the fit-time
+   baseline, nothing happens;
+3. stream drifted batches — the per-row fidelity collapses, the
+   ``RefreshPolicy`` fires, and the plan warm-start refits: new
+   landmarks come from the pending rows only, the old landmark graph is
+   reused as a block, and the child's stage digests chain off the
+   parent's;
+4. the refreshed model is written to the run ledger with a ``parent``
+   link, registered, and promoted — a concurrently running
+   ``TransformService`` hot-swaps to it on the next ``@latest`` request;
+5. a holdout guard: had the refreshed model scored the in-distribution
+   holdout worse, the previous version would have been re-promoted.
+
+Run:  python examples/streaming_refresh.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import PFR
+from repro.core import LandmarkPlan
+from repro.graphs import knn_graph
+from repro.lifecycle import LifecycleController, RefreshPolicy
+from repro.serving import ModelRegistry, TransformService
+from repro.store import RunLedger
+
+
+def make_batch(rng, n, n_features, *, shift=0.0):
+    return rng.normal(loc=shift, size=(n, n_features))
+
+
+def main():
+    rng = np.random.default_rng(7)
+    n, n_features = 2_000, 8
+
+    # --- 1. fit + register ------------------------------------------------
+    X = make_batch(rng, n, n_features)
+    # Stand-in fairness graph: nearest-neighbour similarity (a real
+    # workload would use judgment/quantile graphs, see quickstart.py).
+    w_fair = knn_graph(X, n_neighbors=10)
+    estimator = PFR(
+        n_components=4, gamma=0.5, extension="nystrom", landmarks=200
+    )
+    plan = LandmarkPlan.for_estimator(estimator, X, w_fair)
+    plan.fit(estimator)
+    print(f"fitted: {n} rows on {plan.n_landmarks} landmarks")
+
+    with tempfile.TemporaryDirectory() as root:
+        root = Path(root)
+        ledger = RunLedger(root / "ledger")
+        registry = ModelRegistry(root / "registry")
+        controller = LifecycleController(
+            plan,
+            estimator,
+            registry=registry,
+            name="pfr-online",
+            ledger=ledger,
+            policy=RefreshPolicy(stale_fraction=0.5, min_rows=64),
+            holdout=make_batch(rng, 200, n_features),
+        )
+        controller.ensure_registered()
+
+        # A service any client could be hitting while we stream:
+        service = TransformService(registry, drift=True, drift_floor=0.3)
+        spec, _ = service.transform_versioned(
+            "pfr-online@latest", make_batch(rng, 16, n_features)
+        )
+        print(f"serving {spec}")
+
+        # --- 2. in-distribution traffic: nothing to do --------------------
+        for _ in range(2):
+            event = controller.ingest(make_batch(rng, 100, n_features))
+            print(
+                f"in-dist batch : fidelity {event['batch_mean']:.3f}, "
+                f"window drift {event['drift_fraction']:.1%}, "
+                f"refresh: {event['refresh'] is not None}"
+            )
+
+        # --- 3. the distribution shifts ------------------------------------
+        refresh = None
+        while refresh is None:
+            event = controller.ingest(
+                make_batch(rng, 100, n_features, shift=3.0)
+            )
+            print(
+                f"drifted batch : fidelity {event['batch_mean']:.3f}, "
+                f"window drift {event['drift_fraction']:.1%}, "
+                f"refresh: {event['refresh'] is not None}"
+            )
+            refresh = event["refresh"]
+
+        # --- 4. refreshed, promoted, hot-swapped ---------------------------
+        print(
+            f"refreshed in {refresh['seconds']:.2f}s -> version "
+            f"{refresh['version']} ({refresh['n_landmarks']} landmarks), "
+            f"holdout {refresh['holdout_parent']:.3f} -> "
+            f"{refresh['holdout_child']:.3f}, "
+            f"rolled_back={refresh['rolled_back']}"
+        )
+        spec, _ = service.transform_versioned(
+            "pfr-online@latest", make_batch(rng, 16, n_features, shift=3.0)
+        )
+        print(f"service now resolves @latest -> {spec} (no restart)")
+
+        # Provenance: the child's ledger entry links to its parent.
+        child = [e for e in ledger.ls(kind="lifecycle_model") if e.parent][0]
+        chain = ledger.lineage(child.digest)
+        print(
+            "ledger lineage: "
+            + " -> ".join(entry.digest[:10] for entry in chain)
+        )
+        digests = registry.record("pfr-online").stage_digests
+        print(f"refreshed stage digests include 'extend': "
+              f"{'extend' in digests}")
+
+        # --- 5. the service's own drift window -----------------------------
+        status = service.drift_status()
+        for model_spec, snap in sorted(status["models"].items()):
+            if snap is not None:
+                print(
+                    f"served drift  : {model_spec} scored {snap['count']} "
+                    f"rows, mean {snap['mean']:.3f}"
+                )
+
+
+if __name__ == "__main__":
+    main()

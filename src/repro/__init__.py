@@ -76,7 +76,7 @@ def __getattr__(name):
     # only when first touched, keeping `import repro` and the experiment
     # CLI paths free of the serving stack (PEP 562). Uses importlib
     # directly: a `from . import serving` here would re-enter __getattr__.
-    if name in ("serving", "store", "obs"):
+    if name in ("serving", "store", "obs", "lifecycle"):
         import importlib
 
         return importlib.import_module(f".{name}", __name__)
@@ -119,5 +119,6 @@ __all__ = [
     "serving",
     "store",
     "obs",
+    "lifecycle",
     "__version__",
 ]

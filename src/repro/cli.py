@@ -25,6 +25,14 @@ Usage::
     python -m repro models promote NAME VERSION [--registry DIR]
     python -m repro transform NAME[@VERSION] --input rows.csv [--output z.csv]
     python -m repro serve [--registry DIR] [--port 8321] [--workers 8]
+                          [--drift] [--drift-floor F] [--drift-sample N]
+
+    python -m repro lifecycle status NAME [--registry DIR] [--store DIR]
+    python -m repro lifecycle status --url http://127.0.0.1:8321
+    python -m repro lifecycle refresh --data bundle.npz --name NAME
+                                      [--registry DIR] [--store DIR] [--force]
+    python -m repro lifecycle watch --data bundle.npz --name NAME
+                                    --incoming DIR [--interval S] [--max-batches N]
 
     python -m repro obs summary trace.jsonl [--json]
     python -m repro obs tail trace.jsonl [-n 20]
@@ -46,6 +54,19 @@ rows through a registered model.
 The registry directory defaults to the ``REPRO_REGISTRY`` environment
 variable (falling back to ``~/.repro/registry``); the ledger to
 ``REPRO_STORE`` (falling back to ``~/.repro/store``).
+
+The ``lifecycle`` family closes the production loop
+(:mod:`repro.lifecycle`): ``refresh`` scores a batch of newly arrived
+rows against a fitted landmark model's fidelity baseline and — when the
+drift policy fires (or ``--force``) — warm-start refits, records the
+child in the run ledger with a ``parent`` link, registers it and
+promotes it (with holdout rollback); ``watch`` does the same
+continuously over ``.npy`` batch files dropped into a directory;
+``status`` shows version lineage (offline) or a running server's
+``/drift`` snapshots (``--url``). The ``--data`` bundle is an ``.npz``
+with ``X`` (training rows), ``w_fair`` (dense fairness adjacency),
+optional ``X_new`` (the arriving batch for ``refresh``) and optional
+``X_holdout`` (rollback guard).
 
 Every ``experiments`` subcommand and ``transform`` also accept
 ``--trace PATH`` (record a JSONL trace of the run via :mod:`repro.obs`,
@@ -186,6 +207,97 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="PATH",
         help="append a JSONL trace of request spans to PATH",
     )
+    serve.add_argument(
+        "--drift", action="store_true",
+        help="score a sample of every served batch against the model's "
+             "landmark extension and expose windowed drift statistics at "
+             "GET /drift (landmark models only; off by default)",
+    )
+    serve.add_argument(
+        "--drift-floor", type=float, default=0.5,
+        help="per-row fidelity below this counts as drifted (default 0.5)",
+    )
+    serve.add_argument(
+        "--drift-sample", type=int, default=32,
+        help="max rows scored per request (default 32)",
+    )
+
+    lifecycle = subparsers.add_parser(
+        "lifecycle",
+        help="drift detection and incremental landmark refresh "
+             "(plan -> ledger -> registry -> serving)",
+    )
+    lifecycle_sub = lifecycle.add_subparsers(
+        dest="lifecycle_command", required=True
+    )
+
+    def _lifecycle_model_flags(sub):
+        sub.add_argument("--data", required=True, metavar="BUNDLE.npz",
+                         help=".npz with X, w_fair [, X_new, X_holdout]")
+        sub.add_argument("--name", required=True, help="registry model name")
+        sub.add_argument("--registry", default=None, help="registry directory")
+        sub.add_argument(
+            "--store", default=None,
+            help="run-ledger directory for refresh lineage "
+                 "(default: $REPRO_STORE or ~/.repro/store)",
+        )
+        sub.add_argument("--landmarks", type=int, default=256,
+                         help="landmark count m for the initial fit (default 256)")
+        sub.add_argument("--gamma", type=float, default=0.5,
+                         help="fairness weight γ (default 0.5)")
+        sub.add_argument("--components", type=int, default=8,
+                         help="embedding dimension d (default 8)")
+        sub.add_argument("--stale-fraction", type=float, default=0.5,
+                         help="drifted fraction of the window that triggers "
+                              "a refresh (default 0.5)")
+        sub.add_argument("--min-rows", type=int, default=32,
+                         help="scores required before the policy may fire "
+                              "(default 32)")
+        sub.add_argument("--min-interval", type=float, default=0.0,
+                         help="seconds between refreshes (default 0)")
+        sub.add_argument("--holdout-tolerance", type=float, default=0.05,
+                         help="allowed holdout-fidelity drop before a "
+                              "refreshed version is rolled back; only "
+                              "active when the bundle has X_holdout "
+                              "(default 0.05)")
+        sub.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON events")
+
+    lc_status = lifecycle_sub.add_parser(
+        "status", help="version lineage (offline) or live /drift (--url)"
+    )
+    lc_status.add_argument("name", nargs="?", default=None,
+                           help="model name (offline mode)")
+    lc_status.add_argument("--registry", default=None)
+    lc_status.add_argument("--store", default=None,
+                           help="also show run-ledger refresh lineage")
+    lc_status.add_argument("--url", default=None,
+                           help="query GET /drift of a running repro serve")
+    lc_status.add_argument("--json", action="store_true")
+
+    lc_refresh = lifecycle_sub.add_parser(
+        "refresh",
+        help="score X_new against the fitted baseline; refresh + promote "
+             "when stale (or --force)",
+    )
+    _lifecycle_model_flags(lc_refresh)
+    lc_refresh.add_argument("--force", action="store_true",
+                            help="refresh even if the drift policy says fresh")
+
+    lc_watch = lifecycle_sub.add_parser(
+        "watch",
+        help="ingest .npy batch files from a directory, refreshing "
+             "whenever the policy fires",
+    )
+    _lifecycle_model_flags(lc_watch)
+    lc_watch.add_argument("--incoming", required=True,
+                          help="directory to poll for *.npy batch files "
+                               "(consumed files are renamed to *.npy.done)")
+    lc_watch.add_argument("--interval", type=float, default=1.0,
+                          help="poll interval in seconds (default 1)")
+    lc_watch.add_argument("--max-batches", type=int, default=None,
+                          help="exit after ingesting this many batches "
+                               "(default: run until Ctrl-C)")
 
     experiments = subparsers.add_parser(
         "experiments",
@@ -474,7 +586,13 @@ def _cmd_models(args) -> int:
 def _cmd_serve(args) -> int:
     from .serving import ServingServer, TransformService
 
-    service = TransformService(_registry(args), cache_size=args.cache_size)
+    service = TransformService(
+        _registry(args),
+        cache_size=args.cache_size,
+        drift=args.drift,
+        drift_floor=args.drift_floor,
+        drift_sample=args.drift_sample,
+    )
     server = ServingServer(
         service,
         host=args.host,
@@ -503,6 +621,206 @@ def _cmd_serve(args) -> int:
         print("shutting down", file=sys.stderr)
     finally:
         server.close()
+    return 0
+
+
+def _load_lifecycle_bundle(path: Path) -> dict:
+    """Validate and unpack the ``--data`` .npz bundle."""
+    if not path.exists():
+        raise ReproError(f"data bundle not found: {path}")
+    with np.load(path) as bundle:
+        if "X" not in bundle or "w_fair" not in bundle:
+            raise ReproError(
+                f"{path} must contain arrays 'X' and 'w_fair' "
+                f"(found: {sorted(bundle.files)})"
+            )
+        return {key: bundle[key] for key in bundle.files}
+
+
+def _lifecycle_controller(args):
+    """Build a LifecycleController from the CLI flags + data bundle."""
+    from .core import PFR, LandmarkPlan
+    from .lifecycle import LifecycleController, RefreshPolicy
+
+    data = _load_lifecycle_bundle(Path(args.data))
+    estimator = PFR(
+        n_components=args.components,
+        gamma=args.gamma,
+        extension="nystrom",
+        landmarks=args.landmarks,
+    )
+    plan = LandmarkPlan.for_estimator(estimator, data["X"], data["w_fair"])
+    plan.fit(estimator)
+    controller = LifecycleController(
+        plan,
+        estimator,
+        registry=_registry(args),
+        name=args.name,
+        ledger=_ledger(args),
+        policy=RefreshPolicy(
+            stale_fraction=args.stale_fraction,
+            min_interval=args.min_interval,
+            min_rows=args.min_rows,
+        ),
+        holdout=data.get("X_holdout"),
+        holdout_tolerance=args.holdout_tolerance,
+    )
+    controller.ensure_registered()
+    return controller, data
+
+
+def _print_lifecycle_event(event: dict, *, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(event, sort_keys=True))
+        return
+    refresh = event.get("refresh")
+    print(
+        f"ingested {event['rows']} rows "
+        f"(pending={event['pending']}, "
+        f"batch fidelity={event['batch_mean']:.3f}, "
+        f"window drift={event['drift_fraction']:.1%})"
+    )
+    if refresh is not None:
+        verdict = (
+            "ROLLED BACK (holdout regression)"
+            if refresh["rolled_back"] else "promoted"
+        )
+        print(
+            f"refreshed -> version {refresh['version']} "
+            f"({refresh['n_landmarks']} landmarks, "
+            f"{refresh['seconds']:.2f}s) {verdict}"
+        )
+
+
+def _cmd_lifecycle(args) -> int:
+    if args.lifecycle_command == "status":
+        if args.url is not None:
+            import urllib.request
+
+            with urllib.request.urlopen(
+                args.url.rstrip("/") + "/drift", timeout=10
+            ) as response:
+                status = json.loads(response.read())
+            if args.json:
+                print(json.dumps(status, indent=2, sort_keys=True))
+                return 0
+            if not status["enabled"]:
+                print("drift accounting is disabled on this server "
+                      "(start it with --drift)")
+                return 0
+            for spec, snap in sorted(status["models"].items()):
+                if snap is None:
+                    print(f"{spec}: no landmark coordinates, not scored")
+                    continue
+                print(
+                    f"{spec}: {snap['count']} scored rows in window, "
+                    f"mean fidelity {snap['mean']:.3f}, "
+                    f"drift {snap['drift_fraction']:.1%} "
+                    f"(floor {snap['floor']:g})"
+                )
+            if not status["models"]:
+                print("no models warm yet")
+            return 0
+        if args.name is None:
+            print("error: lifecycle status needs a model NAME or --url",
+                  file=sys.stderr)
+            return 2
+        registry = _registry(args)
+        records = registry.versions(args.name)
+        rows = []
+        for record in records:
+            digests = record.stage_digests or {}
+            rows.append({
+                "version": record.version,
+                "latest": record.is_latest,
+                "landmarks": record.landmarks,
+                "refreshed": "extend" in digests,
+                "created_at": record.created_at,
+            })
+        lineage = None
+        if args.store is not None:
+            ledger = _ledger(args)
+            lineage = [
+                {"digest": e.digest, "parent": e.parent}
+                for e in ledger.ls(kind="lifecycle_model")
+                if e.task.get("name") == args.name
+            ]
+        if args.json:
+            print(json.dumps(
+                {"name": args.name, "versions": rows, "lineage": lineage},
+                indent=2, sort_keys=True,
+            ))
+            return 0
+        for row in rows:
+            marks = []
+            if row["latest"]:
+                marks.append("latest")
+            if row["refreshed"]:
+                marks.append("refreshed")
+            suffix = f" [{', '.join(marks)}]" if marks else ""
+            print(
+                f"v{row['version']}: {row['landmarks']} landmarks{suffix}"
+            )
+        if lineage is not None:
+            print(f"{len(lineage)} ledger entries for {args.name!r}:")
+            for entry in lineage:
+                parent = (
+                    f" <- {entry['parent'][:12]}…" if entry["parent"] else ""
+                )
+                print(f"  {entry['digest'][:12]}…{parent}")
+        return 0
+
+    if args.lifecycle_command == "refresh":
+        controller, data = _lifecycle_controller(args)
+        if "X_new" not in data:
+            print("error: refresh needs an 'X_new' array in the data bundle",
+                  file=sys.stderr)
+            return 2
+        event = controller.ingest(data["X_new"])
+        if event["refresh"] is None and args.force:
+            event["refresh"] = controller.refresh()
+        _print_lifecycle_event(event, as_json=args.json)
+        return 0
+
+    # watch
+    import time as _time
+
+    controller, _ = _lifecycle_controller(args)
+    incoming = Path(args.incoming)
+    if not incoming.is_dir():
+        print(f"error: --incoming directory not found: {incoming}",
+              file=sys.stderr)
+        return 2
+    if not args.json:
+        print(f"watching {incoming} for *.npy batches "
+              f"(model {args.name!r}); Ctrl-C to stop", flush=True)
+    ingested = 0
+    try:
+        while args.max_batches is None or ingested < args.max_batches:
+            batches = sorted(incoming.glob("*.npy"))
+            if not batches:
+                _time.sleep(args.interval)
+                continue
+            for batch_path in batches:
+                X_batch = np.load(batch_path)
+                event = controller.ingest(X_batch)
+                event["batch_file"] = batch_path.name
+                _print_lifecycle_event(event, as_json=args.json)
+                # Consume: the producer sees .done and never re-submits.
+                batch_path.rename(batch_path.with_suffix(".npy.done"))
+                ingested += 1
+                if args.max_batches is not None and ingested >= args.max_batches:
+                    break
+    except KeyboardInterrupt:
+        pass
+    if not args.json:
+        status = controller.status()
+        print(
+            f"ingested {ingested} batches; "
+            f"{status['refreshes']} refreshes, "
+            f"{status['rollbacks']} rollbacks; "
+            f"serving {args.name}@{status['serving']['version']}"
+        )
     return 0
 
 
@@ -854,6 +1172,13 @@ def main(argv=None) -> int:
     if args.command == "serve":
         try:
             return _cmd_serve(args)
+        except (ReproError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.command == "lifecycle":
+        try:
+            return _cmd_lifecycle(args)
         except (ReproError, OSError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

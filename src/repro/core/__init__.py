@@ -14,9 +14,11 @@
 from .approx import (
     LANDMARK_STRATEGIES,
     LandmarkPlan,
+    PlanExtension,
     embedding_fidelity,
     nystrom_extend,
     plan_for_estimator,
+    row_agreement,
     select_landmarks,
 )
 from .kernel_pfr import KernelPFR, kernel_matrix
@@ -34,6 +36,7 @@ __all__ = [
     "LandmarkPlan",
     "PFR",
     "KernelPFR",
+    "PlanExtension",
     "Precomputed",
     "SpectralFitPlan",
     "embedding_fidelity",
@@ -43,6 +46,7 @@ __all__ = [
     "objective_matrix",
     "pairwise_loss",
     "plan_for_estimator",
+    "row_agreement",
     "select_landmarks",
     "sign_normalize",
     "smallest_eigenvectors",

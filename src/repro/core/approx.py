@@ -37,12 +37,20 @@ fidelity/speed trade-off.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 import scipy.sparse as sp
 
 from .._validation import check_array, check_random_state, check_symmetric
 from ..exceptions import ValidationError
-from ..graphs.knn import KNN_BACKENDS, _distance_view, knn_cross
+from ..graphs.knn import (
+    KNN_BACKENDS,
+    _distance_view,
+    knn_cross,
+    knn_graph,
+    median_heuristic,
+)
 from ..obs.trace import span
 from .plan import Precomputed, SpectralFitPlan, _stage_digest
 from .trace_optimization import EIG_SOLVERS
@@ -50,11 +58,13 @@ from .trace_optimization import EIG_SOLVERS
 __all__ = [
     "LANDMARK_STRATEGIES",
     "LandmarkPlan",
+    "PlanExtension",
     "check_extension_params",
     "check_numeric_params",
     "embedding_fidelity",
     "nystrom_extend",
     "plan_for_estimator",
+    "row_agreement",
     "select_landmarks",
 ]
 
@@ -174,6 +184,10 @@ def select_landmarks(
     """
     X = check_array(X, name="X", min_samples=2)
     n = X.shape[0]
+    if n_landmarks != int(n_landmarks):
+        raise ValidationError(
+            f"n_landmarks must be an integer; got {n_landmarks!r}"
+        )
     n_landmarks = int(n_landmarks)
     if not 2 <= n_landmarks <= n:
         raise ValidationError(
@@ -271,6 +285,14 @@ def nystrom_extend(
             f"Z_landmarks must be (n_landmarks, d) = ({X_landmarks.shape[0]}, d); "
             f"got shape {Z_landmarks.shape}"
         )
+    if bandwidth is None and X_landmarks.shape[0] < 2:
+        # median_heuristic needs at least one pairwise distance; with a
+        # single landmark it degenerates to NaN and the extension would
+        # silently return NaN rows.
+        raise ValidationError(
+            "nystrom_extend with a single landmark cannot resolve a "
+            "heat-kernel bandwidth from the data; pass bandwidth= explicitly"
+        )
     k = min(int(n_neighbors), X_landmarks.shape[0])
     weights = knn_cross(
         X_new,
@@ -306,17 +328,29 @@ def nystrom_extend(
     return (weights @ Z_landmarks) / mass[:, None]
 
 
-def embedding_fidelity(Z_ref, Z) -> float:
-    """Mean row-wise cosine similarity after the best linear alignment.
+def embedding_fidelity(Z_ref, Z, *, per_row: bool = False, align: bool = True):
+    """Row-wise cosine similarity, optionally after the best linear alignment.
 
     Embeddings are equivalent up to an invertible linear map (downstream
-    linear models cannot tell them apart), so fidelity least-squares-aligns
-    ``Z`` onto ``Z_ref`` before comparing rows — a Procrustes-style
+    linear models cannot tell them apart), so the default least-squares-
+    aligns ``Z`` onto ``Z_ref`` before comparing rows — a Procrustes-style
     measure generalized to absorb the per-column scale differences between
     an m-row and an n-row orthonormality constraint. Returns 1.0 for
     equivalent embeddings; this is the acceptance metric of
     ``benchmarks/bench_landmark.py`` and the monotonicity lockdown in
     ``tests/test_core_approx.py``.
+
+    Parameters
+    ----------
+    per_row:
+        Return the ``(n,)`` vector of row similarities instead of their
+        mean — the drift-scoring primitive of the lifecycle layer.
+    align:
+        Fit the free linear alignment before comparing. Disable when both
+        embeddings already live in the same basis (e.g. the parametric map
+        vs. the graph-smoothing extension of one fitted model): on small
+        batches with at most ``d`` rows the free alignment is trivially
+        exact, which would score every batch 1.0 and hide all drift.
     """
     Z_ref = np.asarray(Z_ref, dtype=np.float64)
     Z = np.asarray(Z, dtype=np.float64)
@@ -325,14 +359,42 @@ def embedding_fidelity(Z_ref, Z) -> float:
             f"embedding_fidelity needs two equal-shape 2-D embeddings; "
             f"got {Z_ref.shape} and {Z.shape}"
         )
-    A, *_ = np.linalg.lstsq(Z, Z_ref, rcond=None)
-    Z_aligned = Z @ A
+    if align:
+        A, *_ = np.linalg.lstsq(Z, Z_ref, rcond=None)
+        Z_aligned = Z @ A
+    else:
+        Z_aligned = Z
     numerator = np.sum(Z_aligned * Z_ref, axis=1)
     denominator = np.maximum(
         np.linalg.norm(Z_aligned, axis=1) * np.linalg.norm(Z_ref, axis=1),
         1e-15,
     )
-    return float(np.mean(numerator / denominator))
+    scores = numerator / denominator
+    if per_row:
+        return scores
+    return float(np.mean(scores))
+
+
+def row_agreement(Z_graph, Z_param) -> np.ndarray:
+    """Scale-aware per-row agreement between two same-basis embeddings.
+
+    The cosine (no free alignment — see :func:`embedding_fidelity`'s
+    ``align``) scaled by the norm ratio of the rows: the graph-smoothing
+    extension is a convex combination of landmark embeddings, so a
+    drifted row whose parametric image leaves the landmark hull keeps a
+    plausible *direction* but an inflated *norm* — the ratio is what
+    collapses. Shared by :meth:`LandmarkPlan.score_rows` and the serving
+    tier's drift scorer (:func:`repro.lifecycle.scorer_for`).
+    """
+    Z_graph = np.asarray(Z_graph, dtype=np.float64)
+    Z_param = np.asarray(Z_param, dtype=np.float64)
+    cosine = embedding_fidelity(Z_graph, Z_param, per_row=True, align=False)
+    norm_graph = np.linalg.norm(Z_graph, axis=1)
+    norm_param = np.linalg.norm(Z_param, axis=1)
+    ratio = np.minimum(norm_graph, norm_param) / np.maximum(
+        np.maximum(norm_graph, norm_param), 1e-15
+    )
+    return cosine * ratio
 
 
 def _restrict(W, indices: np.ndarray):
@@ -340,6 +402,40 @@ def _restrict(W, indices: np.ndarray):
     if sp.issparse(W):
         return W.tocsr()[indices][:, indices]
     return np.asarray(W)[np.ix_(indices, indices)]
+
+
+@dataclass(frozen=True)
+class PlanExtension:
+    """Outcome of one lifecycle :meth:`LandmarkPlan.extend` call.
+
+    Attributes
+    ----------
+    plan:
+        The plan to keep using: ``self`` when the landmark set was kept,
+        or the warm-started child plan when a refresh ran.
+    scores:
+        Per-row fidelity of the appended batch (parametric map vs.
+        graph-smoothing extension, no free alignment).
+    baseline:
+        Fit-time fidelity distribution quantiles the scores were judged
+        against (see :meth:`LandmarkPlan.fidelity_baseline`).
+    stale_fraction:
+        Fraction of the batch scoring below the baseline's ``p05``.
+    stale:
+        Whether that fraction crossed the staleness threshold.
+    refreshed:
+        Whether a warm-started refit ran (``plan`` is then the child).
+    n_pending:
+        Rows appended but not yet folded into a refreshed landmark set.
+    """
+
+    plan: "LandmarkPlan"
+    scores: np.ndarray = field(repr=False)
+    baseline: dict = field(repr=False)
+    stale_fraction: float
+    stale: bool
+    refreshed: bool
+    n_pending: int
 
 
 class LandmarkPlan:
@@ -438,6 +534,21 @@ class LandmarkPlan:
             },
             {"X": X, "indices": self.indices_},
         )
+        self._init_lifecycle_state()
+
+    def _init_lifecycle_state(self) -> None:
+        # Refresh lineage + streaming state (see extend()/refresh()). A
+        # freshly constructed plan is a root: no parent, nothing pending.
+        self.parent: LandmarkPlan | None = None
+        self._extend_digest: str | None = None
+        self._pending: list[tuple[np.ndarray, object]] = []
+        self._last_fit_point: tuple[float, int] | None = None
+        self._baselines: dict[tuple[float, int], dict] = {}
+
+    @property
+    def n_pending(self) -> int:
+        """Rows buffered by :meth:`extend` awaiting the next :meth:`refresh`."""
+        return sum(batch.shape[0] for batch, _ in self._pending)
 
     # ------------------------------------------------------------ factory
     @classmethod
@@ -553,45 +664,75 @@ class LandmarkPlan:
         self._check_landmark_match(estimator)
         self.subplan.fit(estimator)
         estimator.landmark_indices_ = self.indices_.copy()
+        estimator.landmark_X_ = self.X_landmarks_.copy()
         estimator.plan_digests_ = self.stage_digests()
+        self._last_fit_point = (
+            float(estimator.gamma),
+            int(estimator.n_components),
+        )
         return estimator
 
-    def extend(self, X_new, Z_landmarks=None, *, gamma=None, d=None) -> np.ndarray:
-        """Graph-smoothing extension of a landmark embedding to new rows.
+    # ----------------------------------------------------------- lifecycle
+    def _resolve_point(self, gamma, d) -> tuple[float, int]:
+        """The (γ, d) operating point: explicit, or the last fit's."""
+        if gamma is not None and d is not None:
+            return float(gamma), int(d)
+        if self._last_fit_point is None:
+            raise ValidationError(
+                "this plan has no operating point yet; fit() an estimator "
+                "first or pass both gamma and d"
+            )
+        return self._last_fit_point
 
-        Either pass an explicit landmark embedding ``Z_landmarks`` or a
-        ``(gamma, d)`` operating point, in which case the landmark
-        subproblem is solved (cache-warm) and its primal embedding is
-        extended. See :func:`nystrom_extend` for the weighting rule.
-        """
-        if Z_landmarks is None:
-            if gamma is None or d is None:
-                raise ValidationError(
-                    "extend() needs Z_landmarks or both gamma and d"
-                )
-            _, V = self.solve(gamma, d)
-            if self.subplan.kind == "linear":
-                Z_landmarks = self.X_landmarks_ @ V
-            else:
-                proj = self.subplan.projection
-                if proj["whiten"] is not None:
-                    # Constraint 'z': solve() returns coordinates in K's
-                    # principal subspace Φ = U√S, so Z = Φ V.
-                    Z_landmarks = (proj["kernel_basis"] *
-                                   np.sqrt(proj["kernel_spectrum"])) @ V
-                else:
-                    # Constraint 'v': solve() returns the duals A; Z = K A.
-                    from .kernel_pfr import kernel_matrix
+    def _landmark_embedding(self, gamma: float, d: int) -> np.ndarray:
+        """Primal embedding of the landmark rows at one operating point."""
+        _, V = self.solve(gamma, d)
+        if self.subplan.kind == "linear":
+            return self.X_landmarks_ @ V
+        proj = self.subplan.projection
+        if proj["whiten"] is not None:
+            # Constraint 'z': solve() returns coordinates in K's
+            # principal subspace Φ = U√S, so Z = Φ V.
+            return (proj["kernel_basis"] *
+                    np.sqrt(proj["kernel_spectrum"])) @ V
+        # Constraint 'v': solve() returns the duals A; Z = K A.
+        from .kernel_pfr import kernel_matrix
 
-                    K = kernel_matrix(
-                        self.X_landmarks_,
-                        self.X_landmarks_,
-                        kernel=self.subplan.kernel,
-                        bandwidth=proj["fitted_bandwidth"],
-                        degree=self.subplan.degree,
-                        coef0=self.subplan.coef0,
-                    )
-                    Z_landmarks = K @ V
+        K = kernel_matrix(
+            self.X_landmarks_,
+            self.X_landmarks_,
+            kernel=self.subplan.kernel,
+            bandwidth=proj["fitted_bandwidth"],
+            degree=self.subplan.degree,
+            coef0=self.subplan.coef0,
+        )
+        return K @ V
+
+    def _parametric_embedding(self, X_rows, gamma: float, d: int) -> np.ndarray:
+        """The fitted model's out-of-sample map: ``X V`` / ``K(X, L) A``."""
+        _, V = self.solve(gamma, d)
+        if self.subplan.kind == "linear":
+            return X_rows @ V
+        from .kernel_pfr import kernel_matrix
+
+        proj = self.subplan.projection
+        if proj["whiten"] is not None:
+            A = proj["kernel_basis"] @ (
+                V / np.sqrt(proj["kernel_spectrum"])[:, None]
+            )
+        else:
+            A = V
+        K = kernel_matrix(
+            X_rows,
+            self.X_landmarks_,
+            kernel=self.subplan.kernel,
+            bandwidth=proj["fitted_bandwidth"],
+            degree=self.subplan.degree,
+            coef0=self.subplan.coef0,
+        )
+        return K @ A
+
+    def _graph_extend(self, X_new, Z_landmarks) -> np.ndarray:
         return nystrom_extend(
             X_new,
             self.X_landmarks_,
@@ -608,6 +749,371 @@ class LandmarkPlan:
             dtype=self.subplan._np_dtype,
         )
 
+    def score_rows(self, X_rows, *, gamma=None, d=None) -> np.ndarray:
+        """Per-row fidelity of new rows against this plan's landmark set.
+
+        Compares the fitted model's parametric embedding of each row with
+        the model-free graph-smoothing extension
+        (:func:`nystrom_extend`) — both live in the same landmark basis,
+        so the comparison runs *without* the free linear alignment (which
+        would trivially score tiny batches 1.0). The per-row cosine is
+        scaled by the norm ratio of the two embeddings: the graph
+        extension is a convex combination of landmark embeddings, so a
+        drifted row whose parametric image leaves the landmark hull keeps
+        a plausible *direction* but an inflated *norm* — the ratio is
+        what collapses. This is the lifecycle layer's drift signal.
+        """
+        gamma, d = self._resolve_point(gamma, d)
+        X_rows = check_array(
+            X_rows, name="X_rows", dtype=self.subplan._np_dtype
+        )
+        if X_rows.shape[1] != self.X.shape[1]:
+            raise ValidationError(
+                f"X_rows has {X_rows.shape[1]} features but the plan was "
+                f"built on {self.X.shape[1]}"
+            )
+        Z_param = self._parametric_embedding(X_rows, gamma, d)
+        Z_graph = self._graph_extend(X_rows, self._landmark_embedding(gamma, d))
+        return row_agreement(Z_graph, Z_param)
+
+    def fidelity_baseline(
+        self, gamma=None, d=None, *, sample: int = 256, seed=0
+    ) -> dict:
+        """Fit-time per-row fidelity distribution (cached per (γ, d)).
+
+        Scores a seeded sample of the training rows through
+        :meth:`score_rows` and summarizes the distribution's quantiles —
+        the yardstick :meth:`extend` measures incoming batches against.
+        """
+        gamma, d = self._resolve_point(gamma, d)
+        key = (gamma, d)
+        cached = self._baselines.get(key)
+        if cached is None:
+            n = self.X.shape[0]
+            rng = check_random_state(seed)
+            take = min(int(sample), n)
+            index = np.sort(rng.choice(n, size=take, replace=False))
+            scores = self.score_rows(self.X[index], gamma=gamma, d=d)
+            quantiles = np.quantile(scores, [0.01, 0.05, 0.10, 0.25, 0.50])
+            cached = {
+                "gamma": gamma,
+                "d": d,
+                "n_sample": take,
+                "mean": float(scores.mean()),
+                "p01": float(quantiles[0]),
+                "p05": float(quantiles[1]),
+                "p10": float(quantiles[2]),
+                "p25": float(quantiles[3]),
+                "p50": float(quantiles[4]),
+            }
+            self._baselines[key] = cached
+        return dict(cached)
+
+    def extend(
+        self,
+        X_new,
+        Z_landmarks=None,
+        *,
+        gamma=None,
+        d=None,
+        w_fair_new=None,
+        refresh: str = "auto",
+        stale_fraction: float = 0.5,
+    ):
+        """Extend the plan to new rows — embedding, or lifecycle append.
+
+        Two modes share this entry point:
+
+        * **One-off graph-smoothing extension** (the historical API): pass
+          an explicit landmark embedding ``Z_landmarks`` or a ``(gamma,
+          d)`` operating point and get back the extended embedding as an
+          ndarray (see :func:`nystrom_extend` for the weighting rule).
+        * **Lifecycle append** (requires a prior :meth:`fit`): pass only
+          ``X_new``. The batch is scored with :meth:`score_rows` against
+          the fit-time :meth:`fidelity_baseline`, appended to the pending
+          buffer, and — when the scored staleness crosses
+          ``stale_fraction`` and ``refresh="auto"`` (or always, with
+          ``refresh="always"``) — a warm-started :meth:`refresh` runs.
+          Returns a :class:`PlanExtension`; ``refresh="never"`` defers the
+          decision to an external policy (see :mod:`repro.lifecycle`).
+
+        ``w_fair_new`` optionally carries judged fairness edges *within*
+        the batch (shape ``(q, q)``); unjudged batches join the fairness
+        graph isolated, exactly like unjudged individuals in the paper.
+        """
+        if Z_landmarks is not None or gamma is not None or d is not None:
+            if w_fair_new is not None:
+                raise ValidationError(
+                    "w_fair_new only applies to the lifecycle extend(X_new) "
+                    "mode, not the one-off embedding extension"
+                )
+            if Z_landmarks is None:
+                if gamma is None or d is None:
+                    raise ValidationError(
+                        "extend() needs Z_landmarks or both gamma and d"
+                    )
+                Z_landmarks = self._landmark_embedding(float(gamma), int(d))
+            return self._graph_extend(X_new, Z_landmarks)
+        if refresh not in ("auto", "never", "always"):
+            raise ValidationError(
+                f"refresh must be 'auto', 'never' or 'always'; got {refresh!r}"
+            )
+        if self._last_fit_point is None:
+            raise ValidationError(
+                "extend() needs Z_landmarks or both gamma and d on a plan "
+                "that was never fit(); the lifecycle extend(X_new) mode "
+                "requires a fitted operating point"
+            )
+        X_new = check_array(X_new, name="X_new", dtype=self.subplan._np_dtype)
+        if X_new.shape[1] != self.X.shape[1]:
+            raise ValidationError(
+                f"X_new has {X_new.shape[1]} features but the plan was "
+                f"built on {self.X.shape[1]}"
+            )
+        if w_fair_new is not None:
+            w_fair_new = check_symmetric(w_fair_new, name="w_fair_new")
+            if w_fair_new.shape[0] != X_new.shape[0]:
+                raise ValidationError(
+                    f"w_fair_new has {w_fair_new.shape[0]} nodes but X_new "
+                    f"has {X_new.shape[0]} rows"
+                )
+        point = self._last_fit_point
+        with span("plan.extend", n_new=int(X_new.shape[0])):
+            scores = self.score_rows(X_new, gamma=point[0], d=point[1])
+            baseline = self.fidelity_baseline(point[0], point[1])
+            self._pending.append((X_new, w_fair_new))
+            fraction = float(np.mean(scores < baseline["p05"]))
+            stale = fraction >= float(stale_fraction)
+            plan: LandmarkPlan = self
+            refreshed = False
+            if refresh == "always" or (refresh == "auto" and stale):
+                plan = self.refresh()
+                refreshed = True
+        return PlanExtension(
+            plan=plan,
+            scores=scores,
+            baseline=baseline,
+            stale_fraction=fraction,
+            stale=stale,
+            refreshed=refreshed,
+            n_pending=0 if refreshed else sum(
+                batch.shape[0] for batch, _ in self._pending
+            ),
+        )
+
+    def refresh(self, *, n_new_landmarks: int | None = None) -> "LandmarkPlan":
+        """Warm-started refit folding the pending rows into the landmark set.
+
+        Selects new landmarks *from the pending rows only* (O(q·m·f)
+        instead of the cold fit's O(n·m·f) selection over the full
+        training matrix), keeps the parent's landmark data graph block
+        verbatim, and computes only the new-landmark edges via
+        :func:`repro.graphs.knn_cross` — the assembled graph is handed to
+        the child's :class:`SpectralFitPlan` as a precomputed ``w_x``, so
+        the child never rebuilds what the parent already paid for. Pending
+        fairness edges ride along; old↔new fairness edges are unknown at
+        refresh time and enter as zeros (unjudged pairs, paper §3.2).
+
+        Returns the child plan; its :meth:`stage_digests` chain off this
+        plan's digests (``landmarks`` + a new ``extend`` stage) so the
+        refresh lineage is explicit in every downstream manifest.
+        """
+        if not self._pending:
+            raise ValidationError(
+                "refresh() has no pending rows; call extend(X_new) first"
+            )
+        X_pending = np.vstack([batch for batch, _ in self._pending])
+        q = X_pending.shape[0]
+        m = len(self.indices_)
+        n = self.X.shape[0]
+        if n_new_landmarks is None:
+            n_new_landmarks = max(1, min(q, int(round(m * q / max(n, 1)))))
+        n_new_landmarks = int(n_new_landmarks)
+        if not 1 <= n_new_landmarks <= q:
+            raise ValidationError(
+                f"n_new_landmarks must be in [1, {q} pending rows]; "
+                f"got {n_new_landmarks}"
+            )
+        with span("plan.refresh", n_pending=int(q),
+                  n_new_landmarks=int(n_new_landmarks)):
+            child = self._refresh_child(X_pending, n_new_landmarks)
+        self._pending = []
+        return child
+
+    def _refresh_child(
+        self, X_pending: np.ndarray, n_new_landmarks: int
+    ) -> "LandmarkPlan":
+        sub = self.subplan
+        q = X_pending.shape[0]
+        m = len(self.indices_)
+        n = self.X.shape[0]
+        exclude = sub.exclude_columns
+        if n_new_landmarks >= 2:
+            new_local = select_landmarks(
+                X_pending,
+                n_new_landmarks,
+                strategy=self.strategy,
+                seed=self.seed,
+                exclude=exclude,
+            )
+        else:
+            # A single new landmark: the pending row farthest from the
+            # existing landmark set (greedy farthest-point step).
+            view = _distance_view(X_pending, exclude)
+            landmark_view = _distance_view(self.X_landmarks_, exclude)
+            d2 = np.full(q, np.inf)
+            for row in landmark_view:
+                np.minimum(d2, _min_sq_distances(view, row), out=d2)
+            new_local = np.array([int(np.argmax(d2))], dtype=np.int64)
+        X_new_landmarks = X_pending[new_local]
+        q_new = X_new_landmarks.shape[0]
+
+        # --- incremental data graph: reuse the old m×m block verbatim ----
+        W_old = sub.graph["w_x"]
+        k = min(sub.n_neighbors, m)
+        bandwidth = sub.bandwidth
+        if bandwidth is None:
+            bandwidth = float(
+                median_heuristic(
+                    _distance_view(
+                        np.vstack([self.X_landmarks_, X_new_landmarks]),
+                        exclude,
+                    )
+                )
+            )
+        backend_options = (
+            {"seed": sub.knn_seed} if sub.knn_backend == "lsh" else None
+        )
+        cross = knn_cross(
+            X_new_landmarks,
+            self.X_landmarks_,
+            n_neighbors=k,
+            bandwidth=bandwidth,
+            exclude=exclude,
+            backend=sub.knn_backend,
+            backend_options=backend_options,
+            dtype=sub._np_dtype,
+        )
+        if q_new >= 2:
+            W_new = knn_graph(
+                X_new_landmarks,
+                n_neighbors=min(k, q_new - 1),
+                bandwidth=bandwidth,
+                exclude=exclude,
+                backend=sub.knn_backend,
+                backend_options=backend_options,
+                dtype=sub._np_dtype,
+            )
+        else:
+            W_new = sp.csr_matrix((1, 1), dtype=sub._np_dtype)
+        W_combined = sp.bmat(
+            [
+                [sp.csr_matrix(W_old), sp.csr_matrix(cross).T],
+                [sp.csr_matrix(cross), sp.csr_matrix(W_new)],
+            ],
+            format="csr",
+        )
+        if not sp.issparse(W_old):
+            W_combined = W_combined.toarray()
+
+        # --- fairness graph: parent landmark block ⊕ judged pending edges
+        WF_new = np.zeros((q_new, q_new), dtype=np.float64)
+        offset = 0
+        for batch, w_fair_batch in self._pending:
+            size = batch.shape[0]
+            if w_fair_batch is not None:
+                hit = np.where(
+                    (new_local >= offset) & (new_local < offset + size)
+                )[0]
+                if hit.size:
+                    local = new_local[hit] - offset
+                    block = (
+                        w_fair_batch.toarray()
+                        if sp.issparse(w_fair_batch)
+                        else np.asarray(w_fair_batch)
+                    )
+                    WF_new[np.ix_(hit, hit)] = block[np.ix_(local, local)]
+            offset += size
+        WF_old = sub.w_fair
+        if sp.issparse(WF_old):
+            WF_combined = sp.bmat(
+                [[WF_old, None], [None, sp.csr_matrix(WF_new)]], format="csr"
+            )
+        else:
+            WF_combined = np.zeros((m + q_new, m + q_new), dtype=np.float64)
+            WF_combined[:m, :m] = np.asarray(WF_old)
+            WF_combined[m:, m:] = WF_new
+
+        extend_digest = _stage_digest(
+            "extend",
+            {
+                "parent_landmarks": self._landmark_digest,
+                "n_pending": int(q),
+                "n_new_landmarks": int(q_new),
+            },
+            {"X_new_landmarks": X_new_landmarks, "new_local": new_local},
+        )
+
+        child = object.__new__(LandmarkPlan)
+        child.X = np.vstack([self.X, X_pending])
+        child.n_landmarks = m + q_new
+        child.strategy = self.strategy
+        child.seed = self.seed
+        child.indices_ = np.concatenate([self.indices_, n + new_local])
+        child.X_landmarks_ = np.vstack([self.X_landmarks_, X_new_landmarks])
+        child.subplan = SpectralFitPlan(
+            child.X_landmarks_,
+            WF_combined,
+            kind=sub.kind,
+            w_x=W_combined,
+            exclude_columns=exclude,
+            **self._structural_kwargs(),
+        )
+        child.subplan._landmark_driver = True
+        child._landmark_digest = _stage_digest(
+            "landmarks",
+            {
+                "n_landmarks": child.n_landmarks,
+                "strategy": child.strategy,
+                "seed": repr(child.seed),
+                "n_total": child.X.shape[0],
+                "parent": self._landmark_digest,
+                "extend": extend_digest,
+            },
+            {"indices": child.indices_},
+        )
+        child._init_lifecycle_state()
+        child.parent = self
+        child._extend_digest = extend_digest
+        child._last_fit_point = self._last_fit_point
+        return child
+
+    def _structural_kwargs(self) -> dict:
+        """The subplan's structural hyper-parameters as constructor kwargs
+        (``exclude_columns`` excluded — callers pass it positionally)."""
+        sub = self.subplan
+        kwargs = dict(
+            n_neighbors=sub.n_neighbors,
+            bandwidth=sub.bandwidth,
+            rescale=sub.rescale,
+            constraint=sub.constraint,
+            ridge=sub.ridge,
+            eig_solver=sub.eig_solver,
+            knn_backend=sub.knn_backend,
+            knn_seed=sub.knn_seed,
+            dtype=sub.dtype,
+        )
+        if sub.kind == "linear":
+            kwargs["normalized_laplacian"] = sub.normalized_laplacian
+        else:
+            kwargs.update(
+                kernel=sub.kernel,
+                kernel_bandwidth=sub.kernel_bandwidth,
+                degree=sub.degree,
+                coef0=sub.coef0,
+            )
+        return kwargs
+
     # ------------------------------------------------------------ digests
     def stage_digests(self) -> dict:
         """Provenance chain: ``landmarks`` + the landmark subproblem stages.
@@ -617,9 +1123,17 @@ class LandmarkPlan:
         digests (graph → laplacian → projection → solve) come from the
         subplan, whose graph stage already hashes the landmark rows — so
         two plans share a chain iff they agree on the data, the selection
-        and every structural hyper-parameter.
+        and every structural hyper-parameter. Refreshed plans additionally
+        carry an ``extend`` digest chaining the child to its parent's
+        landmark digest, so refresh lineage is auditable from any fitted
+        artifact; root plans emit exactly the pre-lifecycle keys
+        (byte-identical digests when the feature is unused).
         """
-        return {"landmarks": self._landmark_digest, **self.subplan.stage_digests()}
+        digests = {"landmarks": self._landmark_digest}
+        if self._extend_digest is not None:
+            digests["extend"] = self._extend_digest
+        digests.update(self.subplan.stage_digests())
+        return digests
 
     # ------------------------------------------------------------ internal
     def _check_landmark_match(self, estimator) -> None:

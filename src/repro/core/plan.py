@@ -670,8 +670,9 @@ class SpectralFitPlan:
             estimator.n_features_in_ = self.X.shape[1]
             estimator.plan_digests_ = self.stage_digests()
             # Documented contract: None for exact fits (LandmarkPlan.fit
-            # overwrites this with the selected indices).
+            # overwrites these with the selected indices and rows).
             estimator.landmark_indices_ = None
+            estimator.landmark_X_ = None
             return estimator
 
         if not isinstance(estimator, KernelPFR):
@@ -705,6 +706,7 @@ class SpectralFitPlan:
         estimator.n_features_in_ = self.X.shape[1]
         estimator.plan_digests_ = self.stage_digests()
         estimator.landmark_indices_ = None
+        estimator.landmark_X_ = None
         return estimator
 
     def _structural_params(self) -> dict:

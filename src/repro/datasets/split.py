@@ -1,0 +1,142 @@
+"""Stratified train/test splitting for :class:`~repro.datasets.Dataset`.
+
+The paper's evaluation protocol (§4.1) holds out a test set whose label
+and protected-group composition matches the full workload — a plain
+shuffled split drifts both proportions, which skews every group-rate
+metric downstream. :func:`train_test_split` stratifies on the *joint*
+distribution of any combination of the label, the protected attribute,
+and arbitrary feature columns, allocating per-stratum test counts by the
+largest-remainder method so the overall test size is hit exactly while
+every stratum contributes proportionally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from .base import Dataset
+
+__all__ = ["train_test_split"]
+
+
+def _stratum_column(dataset: Dataset, key) -> np.ndarray:
+    """Resolve one ``stratify_on`` entry to a length-n value array."""
+    if isinstance(key, str):
+        if key == "y":
+            return dataset.y
+        if key == "s":
+            return dataset.s
+        if key in dataset.feature_names:
+            return dataset.X[:, dataset.feature_names.index(key)]
+        raise DatasetError(
+            f"unknown stratification key {key!r}: expected 'y', 's' or one "
+            f"of the feature names {list(dataset.feature_names)}"
+        )
+    if isinstance(key, (int, np.integer)) and not isinstance(key, bool):
+        if not 0 <= key < dataset.n_features:
+            raise DatasetError(
+                f"stratification column {key} out of range for "
+                f"{dataset.n_features} features"
+            )
+        return dataset.X[:, int(key)]
+    raise DatasetError(
+        f"stratification keys must be 'y', 's', a feature name or a column "
+        f"index; got {key!r}"
+    )
+
+
+def train_test_split(
+    dataset: Dataset,
+    *,
+    test_size: float | int = 0.25,
+    seed: int = 0,
+    stratify_on=("y", "s"),
+) -> tuple[Dataset, Dataset]:
+    """Split ``dataset`` into (train, test), stratified on a joint key.
+
+    Parameters
+    ----------
+    dataset:
+        The workload to split.
+    test_size:
+        Test fraction in ``(0, 1)``, or an absolute row count in
+        ``[1, n-1]``. The returned test set hits this size exactly.
+    seed:
+        Shuffling seed; splits are deterministic given (seed, inputs).
+    stratify_on:
+        Keys whose *joint* value defines the strata: ``"y"`` (label),
+        ``"s"`` (protected group), any entry of ``feature_names``, or an
+        integer column index of ``X``. The default ``("y", "s")`` is the
+        paper's protocol — label and group composition both preserved.
+        Pass ``()`` for a plain shuffled split.
+
+    Returns
+    -------
+    (train, test):
+        Two :class:`Dataset` views built via :meth:`Dataset.subset`, rows
+        in original order within each side. Per-stratum test counts are
+        assigned by largest remainder, so each stratum's share of the
+        test set is within one row of exactly proportional — strata too
+        small to earn a row stay entirely in train.
+    """
+    n = dataset.n_samples
+    if isinstance(test_size, (int, np.integer)) and not isinstance(test_size, bool):
+        n_test = int(test_size)
+        if not 1 <= n_test <= n - 1:
+            raise DatasetError(
+                f"test_size={test_size} rows must be in [1, {n - 1}] for a "
+                f"{n}-row dataset"
+            )
+    else:
+        fraction = float(test_size)
+        if not 0.0 < fraction < 1.0:
+            raise DatasetError(
+                f"test_size must be a fraction in (0, 1) or an absolute row "
+                f"count; got {test_size!r}"
+            )
+        n_test = int(round(fraction * n))
+        if not 1 <= n_test <= n - 1:
+            raise DatasetError(
+                f"test_size={fraction} leaves an empty side of a {n}-row "
+                "dataset; pass an absolute count instead"
+            )
+
+    keys = tuple(stratify_on) if stratify_on is not None else ()
+    if keys:
+        columns = np.column_stack(
+            [np.asarray(_stratum_column(dataset, key)) for key in keys]
+        )
+        _, strata = np.unique(columns, axis=0, return_inverse=True)
+    else:
+        strata = np.zeros(n, dtype=np.int64)
+    n_strata = int(strata.max()) + 1
+    counts = np.bincount(strata, minlength=n_strata)
+
+    # Largest-remainder allocation: every stratum gets the floor of its
+    # exact proportional share, and the leftover rows go to the largest
+    # fractional remainders (ties broken by stratum index, so the split
+    # is deterministic across numpy versions).
+    exact = counts * (n_test / n)
+    base = np.floor(exact).astype(np.int64)
+    remainder = exact - base
+    leftover = n_test - int(base.sum())
+    if leftover > 0:
+        order = np.lexsort((np.arange(n_strata), -remainder))
+        for stratum in order[:leftover]:
+            base[stratum] += 1
+    # floor(share) <= count always, and each +1 goes to a stratum whose
+    # remainder is positive (share was fractional), so base <= counts.
+
+    rng = np.random.default_rng(seed)
+    test_mask = np.zeros(n, dtype=bool)
+    for stratum in range(n_strata):
+        members = np.flatnonzero(strata == stratum)
+        take = int(base[stratum])
+        if take == 0:
+            continue
+        test_mask[rng.permutation(members)[:take]] = True
+
+    test_indices = np.flatnonzero(test_mask)
+    train_indices = np.flatnonzero(~test_mask)
+    return dataset.subset(train_indices), dataset.subset(test_indices)

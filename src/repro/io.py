@@ -130,7 +130,13 @@ def _unpack_plan_digests(model, arrays: dict) -> None:
 _REGISTRY = {
     "PFR": (
         PFR,
-        ("components_", "eigenvalues_", "n_features_in_", "landmark_indices_"),
+        (
+            "components_",
+            "eigenvalues_",
+            "n_features_in_",
+            "landmark_indices_",
+            "landmark_X_",
+        ),
     ),
     "KernelPFR": (
         KernelPFR,
@@ -210,7 +216,7 @@ _ARRAY_PARAMS = {"SideInformationAugmenter": ("side_information",)}
 # introduced after it was written (same-major artifacts stay loadable; the
 # attribute just stays unset). Every other registered attribute is
 # required — a missing one means the file is malformed.
-_OPTIONAL_ATTRS = frozenset({"landmark_indices_"})
+_OPTIONAL_ATTRS = frozenset({"landmark_indices_", "landmark_X_"})
 
 
 def supported_model_types() -> list[str]:

@@ -1,0 +1,562 @@
+"""Production lifecycle: drift detection and automatic landmark refresh.
+
+This module closes the loop that :class:`repro.core.LandmarkPlan` opens
+with ``extend()``/``refresh()``: served traffic is scored row-by-row
+against the fit-time fidelity distribution, a windowed
+:class:`DriftMonitor` aggregates the scores into drift statistics (and
+mirrors them into the :mod:`repro.obs` metrics registry), and a
+:class:`RefreshPolicy` decides *when* the accumulated staleness warrants
+a warm-start refit. :class:`LifecycleController` wires the three
+together with the persistence tier:
+
+    plan.extend(batch)  →  DriftMonitor.observe(scores)
+        →  RefreshPolicy.should_refresh(...)
+            →  plan.refresh()  →  child.fit(clone(estimator))
+                →  ledger.put(..., parent=<current digest>)
+                    →  registry.register_from_ledger(...)  (promoted)
+                        →  holdout check  →  promote(old) on regression
+
+The controller never mutates a model in place: every refresh produces a
+new ledger entry (linked to its parent — see
+:meth:`repro.store.RunLedger.lineage`) and a new registry version, and
+rollback is just re-promoting the previous version, so concurrent
+``resolve("@latest")`` readers always observe a complete model.
+
+:func:`scorer_for` rebuilds the per-row drift score from a *loaded*
+artifact (no plan required), which is what the serving tier uses for
+per-request drift accounting.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from .core.approx import LandmarkPlan, nystrom_extend, row_agreement
+from .exceptions import ValidationError
+from .graphs.knn import _distance_view, median_heuristic
+from .ml.base import clone
+from .obs import span
+from .obs.metrics import MetricsRegistry, get_registry
+from .store.ledger import coerce_ledger
+
+__all__ = [
+    "DriftMonitor",
+    "LifecycleController",
+    "RefreshPolicy",
+    "holdout_agreement",
+    "scorer_for",
+]
+
+
+def scorer_for(model):
+    """Per-row drift scorer rebuilt from a fitted/loaded landmark model.
+
+    Returns a callable ``score(X_rows, Z_rows=None) -> np.ndarray`` that
+    mirrors :meth:`repro.core.LandmarkPlan.score_rows` — the scale-aware
+    agreement (:func:`repro.core.row_agreement`) between the model's
+    parametric embedding and the graph-smoothing Nyström extension over
+    its stored landmark rows. Pass ``Z_rows`` when the parametric
+    embedding of the rows is already in hand (the serving hot path) to
+    skip the redundant ``transform``.
+
+    Returns ``None`` when the artifact carries no landmark coordinates
+    (exact fits, or artifacts persisted before landmarks were stored) —
+    callers treat that as "drift accounting unavailable for this model".
+    """
+    X_landmarks = getattr(model, "landmark_X_", None)
+    if X_landmarks is None and getattr(model, "landmark_indices_", None) is not None:
+        # Kernel Nyström fits keep their landmark rows as the kernel basis.
+        X_landmarks = getattr(model, "X_fit_", None)
+    if X_landmarks is None:
+        return None
+    X_landmarks = np.asarray(X_landmarks, dtype=np.float64)
+    if X_landmarks.ndim != 2 or X_landmarks.shape[0] < 2:
+        return None
+    Z_landmarks = np.asarray(model.transform(X_landmarks), dtype=np.float64)
+    exclude = getattr(model, "exclude_columns", None)
+    bandwidth = getattr(model, "bandwidth", None)
+    if bandwidth is None:
+        bandwidth = float(median_heuristic(_distance_view(X_landmarks, exclude)))
+    n_neighbors = min(int(getattr(model, "n_neighbors", 10)), X_landmarks.shape[0])
+
+    def score(X_rows, Z_rows=None) -> np.ndarray:
+        X_rows = np.asarray(X_rows, dtype=np.float64)
+        if X_rows.ndim == 1:
+            X_rows = X_rows[None, :]
+        if Z_rows is None:
+            Z_param = np.asarray(model.transform(X_rows), dtype=np.float64)
+        else:
+            Z_param = np.asarray(Z_rows, dtype=np.float64)
+            if Z_param.ndim == 1:
+                Z_param = Z_param[None, :]
+        Z_graph = nystrom_extend(
+            X_rows,
+            X_landmarks,
+            Z_landmarks,
+            n_neighbors=n_neighbors,
+            bandwidth=bandwidth,
+            exclude=exclude,
+        )
+        return row_agreement(Z_graph, Z_param)
+
+    return score
+
+
+def holdout_agreement(plan: LandmarkPlan, X_holdout) -> float:
+    """Mean per-row fidelity of ``X_holdout`` under ``plan`` (higher = better)."""
+    X_holdout = np.asarray(X_holdout, dtype=np.float64)
+    if X_holdout.ndim != 2 or X_holdout.shape[0] == 0:
+        raise ValidationError(
+            "holdout_agreement needs a non-empty 2-D holdout matrix; got "
+            f"shape {X_holdout.shape}"
+        )
+    return float(np.mean(plan.score_rows(X_holdout)))
+
+
+class DriftMonitor:
+    """Windowed per-row fidelity statistics with :mod:`repro.obs` mirroring.
+
+    Thread-safe: the serving tier calls :meth:`observe` from worker
+    threads while a refresh hook polls :meth:`snapshot`.
+
+    Parameters
+    ----------
+    window:
+        Number of most-recent row scores retained for the statistics.
+    floor:
+        Score below which a row counts as drifted. Defaults to the
+        ``p05`` of ``baseline`` (a :meth:`LandmarkPlan.fidelity_baseline`
+        dict) when given, else ``0.5``.
+    metrics:
+        A :class:`repro.obs.MetricsRegistry`; defaults to the process
+        registry. Every observation feeds the ``lifecycle.fidelity``
+        histogram and refreshes the ``lifecycle.drift_fraction`` gauge,
+        labelled ``model=<name>``.
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 4096,
+        floor: float | None = None,
+        baseline: dict | None = None,
+        metrics: MetricsRegistry | None = None,
+        name: str = "model",
+    ):
+        if window < 1:
+            raise ValidationError(f"window must be >= 1; got {window}")
+        if floor is None:
+            floor = float(baseline["p05"]) if baseline is not None else 0.5
+        self.window = int(window)
+        self.floor = float(floor)
+        self.name = str(name)
+        self.metrics = metrics if metrics is not None else get_registry()
+        self._scores: deque[float] = deque(maxlen=self.window)
+        self._total = 0
+        self._lock = threading.Lock()
+
+    def observe(self, scores) -> None:
+        """Fold a batch of per-row scores into the window (and metrics)."""
+        scores = np.atleast_1d(np.asarray(scores, dtype=np.float64)).ravel()
+        if scores.size == 0:
+            return
+        with self._lock:
+            self._scores.extend(float(s) for s in scores)
+            self._total += int(scores.size)
+        for s in scores:
+            self.metrics.observe("lifecycle.fidelity", float(s), model=self.name)
+        snap = self.snapshot()
+        self.metrics.set_gauge(
+            "lifecycle.drift_fraction", snap["drift_fraction"], model=self.name
+        )
+        self.metrics.set_gauge(
+            "lifecycle.fidelity_mean", snap["mean"], model=self.name
+        )
+
+    def snapshot(self) -> dict:
+        """Current window statistics as a plain JSON-serialisable dict."""
+        with self._lock:
+            arr = np.asarray(self._scores, dtype=np.float64)
+            total = self._total
+        if arr.size == 0:
+            return {
+                "name": self.name,
+                "count": 0,
+                "total": total,
+                "window": self.window,
+                "floor": self.floor,
+                "mean": float("nan"),
+                "p05": float("nan"),
+                "p25": float("nan"),
+                "p50": float("nan"),
+                "drift_fraction": 0.0,
+            }
+        p05, p25, p50 = np.quantile(arr, [0.05, 0.25, 0.50])
+        return {
+            "name": self.name,
+            "count": int(arr.size),
+            "total": total,
+            "window": self.window,
+            "floor": self.floor,
+            "mean": float(arr.mean()),
+            "p05": float(p05),
+            "p25": float(p25),
+            "p50": float(p50),
+            "drift_fraction": float(np.mean(arr < self.floor)),
+        }
+
+    def rebase(self, baseline: dict | None = None, *, floor: float | None = None):
+        """Reset the window against a new baseline (post-refresh)."""
+        if floor is None:
+            floor = float(baseline["p05"]) if baseline is not None else self.floor
+        with self._lock:
+            self._scores.clear()
+            self.floor = float(floor)
+        return self
+
+
+@dataclass(frozen=True)
+class RefreshPolicy:
+    """When is accumulated drift worth a warm-start refit?
+
+    A refresh fires only when *all three* gates pass: the window holds at
+    least ``min_rows`` scores, at least ``stale_fraction`` of them fall
+    below the monitor's floor, and ``min_interval`` seconds have elapsed
+    since the previous refresh (hysteresis against refit thrash).
+    """
+
+    stale_fraction: float = 0.5
+    min_interval: float = 0.0
+    min_rows: int = 32
+
+    def __post_init__(self):
+        if not 0.0 < self.stale_fraction <= 1.0:
+            raise ValidationError(
+                f"stale_fraction must be in (0, 1]; got {self.stale_fraction}"
+            )
+        if self.min_interval < 0:
+            raise ValidationError(
+                f"min_interval must be >= 0; got {self.min_interval}"
+            )
+        if self.min_rows < 1:
+            raise ValidationError(f"min_rows must be >= 1; got {self.min_rows}")
+
+    def should_refresh(
+        self,
+        snapshot: dict,
+        *,
+        now: float | None = None,
+        last_refresh: float | None = None,
+    ) -> bool:
+        """Decide from a :meth:`DriftMonitor.snapshot` dict."""
+        if snapshot["count"] < self.min_rows:
+            return False
+        if snapshot["drift_fraction"] < self.stale_fraction:
+            return False
+        if last_refresh is not None:
+            if now is None:
+                now = time.monotonic()
+            if now - last_refresh < self.min_interval:
+                return False
+        return True
+
+
+class LifecycleController:
+    """Drives extend → drift-score → refresh → register → promote.
+
+    Parameters
+    ----------
+    plan:
+        A *fitted* :class:`repro.core.LandmarkPlan` (the warm-start
+        state: landmark graph, solve cache, pending rows).
+    estimator:
+        The estimator template (``PFR``/``KernelPFR`` with
+        ``extension="nystrom"``). Refreshes fit a :func:`clone` with
+        ``landmarks`` bumped to the child plan's landmark count.
+    registry:
+        A :class:`repro.serving.ModelRegistry` (or a path for one).
+    name:
+        Registry model name; each refresh registers + promotes a new
+        version of it.
+    ledger:
+        Optional :class:`repro.store.RunLedger` (or path). When given,
+        every refreshed model is persisted as a ledger entry whose
+        ``parent`` links to the entry it replaced, and registration goes
+        through :meth:`ModelRegistry.register_from_ledger` so the
+        registry record carries the run's stage digests.
+    holdout:
+        Optional in-distribution rows. After a refresh the child plan
+        must score them no worse than the parent did (within
+        ``holdout_tolerance``); otherwise the previous version is
+        re-promoted and the parent plan stays live.
+    """
+
+    def __init__(
+        self,
+        plan: LandmarkPlan,
+        estimator,
+        *,
+        registry,
+        name: str,
+        ledger=None,
+        policy: RefreshPolicy | None = None,
+        monitor: DriftMonitor | None = None,
+        holdout=None,
+        holdout_tolerance: float = 0.05,
+        metrics: MetricsRegistry | None = None,
+    ):
+        from .serving.registry import ModelRegistry
+
+        if not isinstance(plan, LandmarkPlan):
+            raise ValidationError(
+                "LifecycleController needs a LandmarkPlan; got "
+                f"{type(plan).__name__}"
+            )
+        if plan._last_fit_point is None:
+            raise ValidationError(
+                "LifecycleController needs a fitted plan: call plan.fit(estimator) "
+                "before constructing the controller"
+            )
+        if holdout_tolerance < 0:
+            raise ValidationError(
+                f"holdout_tolerance must be >= 0; got {holdout_tolerance}"
+            )
+        self.plan = plan
+        self.estimator = estimator
+        self.registry = (
+            registry
+            if isinstance(registry, ModelRegistry)
+            else ModelRegistry(registry)
+        )
+        self.name = str(name)
+        self.ledger = coerce_ledger(ledger)
+        self.policy = policy if policy is not None else RefreshPolicy()
+        self.metrics = metrics if metrics is not None else get_registry()
+        self.monitor = (
+            monitor
+            if monitor is not None
+            else DriftMonitor(
+                baseline=plan.fidelity_baseline(),
+                metrics=self.metrics,
+                name=self.name,
+            )
+        )
+        if holdout is not None:
+            holdout = np.asarray(holdout, dtype=np.float64)
+            if holdout.ndim != 2 or holdout.shape[0] == 0:
+                raise ValidationError(
+                    "holdout must be a non-empty 2-D matrix; got shape "
+                    f"{holdout.shape}"
+                )
+        self.holdout = holdout
+        self.holdout_tolerance = float(holdout_tolerance)
+        self._last_refresh: float | None = None
+        self._entry_digest: str | None = None
+        self.history: list[dict] = []
+        self._lock = threading.Lock()
+
+    # -- persistence ---------------------------------------------------
+
+    def _task_for(self, plan: LandmarkPlan, *, refresh_of: str | None) -> dict:
+        digests = plan.stage_digests()
+        task = {
+            "kind": "lifecycle_model",
+            "name": self.name,
+            "stage_digests": digests,
+            "estimator": type(self.estimator).__name__,
+        }
+        if refresh_of is not None:
+            # Digest-relevant: two refreshes of different parents must
+            # never collide even if their stage digests somehow did.
+            task["refresh_of"] = refresh_of
+        return task
+
+    def _persist(self, plan: LandmarkPlan, estimator, payload: dict):
+        """Ledger + registry write; returns (record, entry_digest)."""
+        if self.ledger is not None:
+            entry = self.ledger.put(
+                self._task_for(plan, refresh_of=self._entry_digest),
+                payload,
+                model=estimator,
+                parent=self._entry_digest,
+            )
+            record = self.registry.register_from_ledger(
+                self.ledger, entry.digest, self.name, promote=True
+            )
+            return record, entry.digest
+        record = self.registry.register(self.name, estimator, promote=True)
+        return record, None
+
+    def ensure_registered(self) -> dict:
+        """Register + promote the current (parent) model if ``name`` is absent.
+
+        Idempotent: when the registry already serves ``name`` this only
+        records the latest version as the rollback target.
+        """
+        with self._lock:
+            try:
+                record = self.registry.record(self.name)
+            except ValidationError:
+                record = None
+            if record is None:
+                estimator = self._fit_current()
+                record, self._entry_digest = self._persist(
+                    self.plan, estimator, {"event": "initial"}
+                )
+            return {"name": self.name, "version": record.version}
+
+    def _fit_current(self):
+        estimator = clone(self.estimator)
+        estimator.landmarks = self.plan.n_landmarks
+        gamma, d = self.plan._last_fit_point
+        estimator.gamma = gamma
+        estimator.n_components = d
+        self.plan.fit(estimator)
+        return estimator
+
+    # -- the loop ------------------------------------------------------
+
+    def ingest(self, X_batch, *, w_fair_new=None) -> dict:
+        """Score one batch of arriving rows; refresh when the policy fires.
+
+        Returns an event dict: the batch's drift stats plus, when a
+        refresh ran, the nested refresh event under ``"refresh"``.
+        """
+        with self._lock:
+            extension = self.plan.extend(
+                X_batch, w_fair_new=w_fair_new, refresh="never"
+            )
+            self.monitor.observe(extension.scores)
+            rows = int(len(extension.scores))
+            self.metrics.inc("lifecycle.batches", model=self.name)
+            self.metrics.inc("lifecycle.rows", float(rows), model=self.name)
+            snapshot = self.monitor.snapshot()
+            event = {
+                "event": "ingest",
+                "rows": rows,
+                "pending": self.plan.n_pending,
+                "batch_mean": float(np.mean(extension.scores))
+                if len(extension.scores)
+                else float("nan"),
+                "drift_fraction": snapshot["drift_fraction"],
+                "refresh": None,
+            }
+            if self.policy.should_refresh(
+                snapshot, last_refresh=self._last_refresh
+            ):
+                event["refresh"] = self._refresh_locked()
+            return event
+
+    def refresh(self) -> dict:
+        """Force a refresh now (policy bypassed); returns the event dict."""
+        with self._lock:
+            return self._refresh_locked()
+
+    def _refresh_locked(self) -> dict:
+        if self.plan.n_pending == 0:
+            raise ValidationError(
+                "refresh needs pending rows: feed batches through ingest() "
+                "(or plan.extend) first"
+            )
+        with span("lifecycle.refresh", model=self.name):
+            started = time.perf_counter()
+            parent = self.plan
+            parent_holdout = (
+                holdout_agreement(parent, self.holdout)
+                if self.holdout is not None
+                else None
+            )
+            child = parent.refresh()
+            estimator = clone(self.estimator)
+            estimator.landmarks = child.n_landmarks
+            gamma, d = parent._last_fit_point
+            estimator.gamma = gamma
+            estimator.n_components = d
+            child.fit(estimator)
+            child_holdout = (
+                holdout_agreement(child, self.holdout)
+                if self.holdout is not None
+                else None
+            )
+            previous = None
+            try:
+                previous = self.registry.record(self.name)
+            except ValidationError:
+                pass
+            record, entry_digest = self._persist(
+                child,
+                estimator,
+                {
+                    "event": "refresh",
+                    "n_landmarks": child.n_landmarks,
+                    "holdout_parent": parent_holdout,
+                    "holdout_child": child_holdout,
+                },
+            )
+            rolled_back = False
+            if (
+                parent_holdout is not None
+                and child_holdout < parent_holdout - self.holdout_tolerance
+            ):
+                # The refreshed model serves the in-distribution holdout
+                # measurably worse: re-point @latest at the parent and
+                # keep the parent plan live (the child version stays on
+                # disk for audit).
+                rolled_back = True
+                if previous is not None:
+                    self.registry.promote(self.name, previous.version)
+                self.metrics.inc("lifecycle.rollbacks", model=self.name)
+            else:
+                self.plan = child
+                self._entry_digest = entry_digest
+                self.monitor.rebase(child.fidelity_baseline())
+            self._last_refresh = time.monotonic()
+            self.metrics.inc("lifecycle.refreshes", model=self.name)
+            self.metrics.set_gauge(
+                "lifecycle.last_refresh_seconds",
+                time.perf_counter() - started,
+                model=self.name,
+            )
+            event = {
+                "event": "refresh",
+                "version": record.version,
+                "rolled_back": rolled_back,
+                "n_landmarks": child.n_landmarks,
+                "holdout_parent": parent_holdout,
+                "holdout_child": child_holdout,
+                "entry_digest": entry_digest,
+                "seconds": time.perf_counter() - started,
+            }
+            self.history.append(event)
+            return event
+
+    def status(self) -> dict:
+        """One JSON-serialisable view of the whole loop's state."""
+        with self._lock:
+            try:
+                record = self.registry.record(self.name)
+                serving = {"version": record.version, "path": str(record.path)}
+            except ValidationError:
+                serving = None
+            return {
+                "name": self.name,
+                "n_rows": self.plan.X.shape[0],
+                "n_landmarks": self.plan.n_landmarks,
+                "pending": self.plan.n_pending,
+                "drift": self.monitor.snapshot(),
+                "policy": {
+                    "stale_fraction": self.policy.stale_fraction,
+                    "min_interval": self.policy.min_interval,
+                    "min_rows": self.policy.min_rows,
+                },
+                "refreshes": len(
+                    [e for e in self.history if not e["rolled_back"]]
+                ),
+                "rollbacks": len([e for e in self.history if e["rolled_back"]]),
+                "serving": serving,
+            }

@@ -42,8 +42,18 @@ Endpoints (all JSON unless noted)::
     GET  /models                     registered models (latest each)
     GET  /models/<spec>              one record, all versions
     POST /models/<name>/promote      {"version": N} -> record
+    GET  /drift                      per-model drift snapshots
     GET  /healthz                    {"status": "ok", ...}   (never queued)
     GET  /metrics                    Prometheus text format  (never queued)
+
+Lifecycle: construct the shared service with ``drift=True`` and
+``GET /drift`` reports each warm model's windowed fidelity statistics
+(see :class:`repro.lifecycle.DriftMonitor`). An optional
+``refresh_hook`` — any zero-argument callable, typically wrapping a
+:class:`repro.lifecycle.LifecycleController` — runs on a background
+thread every ``refresh_interval`` seconds while the server is up; a
+hook that registers + promotes a refreshed version takes effect on the
+next request through the existing hot-swap path, no restart.
 
 Run it from the CLI (``python -m repro serve --registry DIR``) or embed::
 
@@ -186,6 +196,14 @@ class ServingServer:
         Request bodies above this answer 413 before the body is read.
     request_timeout:
         Seconds before an admitted request answers 503.
+    refresh_hook:
+        Optional zero-argument callable run every ``refresh_interval``
+        seconds on a dedicated background thread (started with the
+        server, stopped with it). Exceptions are swallowed into the
+        ``http.refresh_hook_errors`` counter — a broken hook must never
+        take serving down.
+    refresh_interval:
+        Seconds between ``refresh_hook`` invocations.
     """
 
     def __init__(
@@ -198,6 +216,8 @@ class ServingServer:
         max_queue: int = 512,
         max_body_bytes: int = 8 * 1024 * 1024,
         request_timeout: float = 30.0,
+        refresh_hook=None,
+        refresh_interval: float = 30.0,
     ):
         if not isinstance(service, TransformService):
             service = TransformService(service)
@@ -213,6 +233,14 @@ class ServingServer:
             raise ValidationError(
                 f"request_timeout must be > 0; got {request_timeout}"
             )
+        if refresh_hook is not None and not callable(refresh_hook):
+            raise ValidationError(
+                f"refresh_hook must be callable; got {type(refresh_hook).__name__}"
+            )
+        if refresh_interval <= 0:
+            raise ValidationError(
+                f"refresh_interval must be > 0; got {refresh_interval}"
+            )
         self.service = service
         self.host = host
         self._requested_port = int(port)
@@ -220,6 +248,10 @@ class ServingServer:
         self.max_queue = int(max_queue)
         self.max_body_bytes = int(max_body_bytes)
         self.request_timeout = float(request_timeout)
+        self.refresh_hook = refresh_hook
+        self.refresh_interval = float(refresh_interval)
+        self._refresh_thread: threading.Thread | None = None
+        self._refresh_stop: threading.Event | None = None
         self._pool: ThreadPoolExecutor | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._server: asyncio.AbstractServer | None = None
@@ -275,17 +307,35 @@ class ServingServer:
             self._pool.shutdown(wait=False)
             self._thread = self._loop = self._pool = None
             raise startup_error[0]
+        if self.refresh_hook is not None:
+            self._refresh_stop = threading.Event()
+            self._refresh_thread = threading.Thread(
+                target=self._refresh_loop, name="repro-http-refresh", daemon=True
+            )
+            self._refresh_thread.start()
         return self
 
     def close(self) -> None:
         """Stop accepting, tear down connections and workers. Idempotent."""
         if self._thread is None:
             return
+        if self._refresh_thread is not None:
+            self._refresh_stop.set()
+            self._refresh_thread.join()
+            self._refresh_thread = self._refresh_stop = None
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join()
         self._pool.shutdown(wait=True, cancel_futures=True)
         self._thread = self._loop = self._server = self._pool = None
         self._bound_port = None
+
+    def _refresh_loop(self) -> None:
+        """Run ``refresh_hook`` every ``refresh_interval`` s until close()."""
+        while not self._refresh_stop.wait(self.refresh_interval):
+            try:
+                self.refresh_hook()
+            except Exception:
+                self.service.metrics.inc("http.refresh_hook_errors")
 
     def serve_forever(self) -> None:
         """Blocking serve (the CLI path); Ctrl-C shuts down cleanly."""
@@ -497,6 +547,12 @@ class ServingServer:
         if path == "/transform":
             self._require(method, "POST", path)
             return "/transform", lambda: self._do_transform(body), True
+        if path == "/drift":
+            # On the worker pool (unlike /metrics): drift_status takes the
+            # service load lock, which a cold model load can hold for a
+            # while — the event loop must never wait on it.
+            self._require(method, "GET", path)
+            return "/drift", self.service.drift_status, True
         if path == "/models":
             self._require(method, "GET", path)
             return "/models", self._do_models_list, True

@@ -41,6 +41,11 @@ class _ServedModel:
     model: object
     batcher: BatchTransformer
     cache: LRUCache
+    # Drift accounting (None unless the service opted in AND the artifact
+    # carries landmark coordinates): a per-row scorer rebuilt from the
+    # loaded model and the windowed monitor its samples feed.
+    scorer: object = None
+    monitor: object = None
 
 
 class TransformService:
@@ -63,6 +68,22 @@ class TransformService:
         in one process never mix their latency distributions; pass
         :func:`repro.obs.get_registry` to publish into the process-global
         one instead.
+    drift:
+        Opt-in per-request drift accounting. When True, every served
+        batch has up to ``drift_sample`` rows re-scored through
+        :func:`repro.lifecycle.scorer_for` (parametric map vs.
+        graph-smoothing extension over the artifact's landmarks) into a
+        per-model :class:`repro.lifecycle.DriftMonitor`; read the
+        aggregate through :meth:`drift_status` or ``GET /drift``. Models
+        whose artifacts carry no landmark coordinates serve normally but
+        report no drift.
+    drift_sample:
+        Max rows scored per request (stride-sampled — bounds the hot-path
+        overhead regardless of batch size).
+    drift_window, drift_floor:
+        Handed to each model's :class:`DriftMonitor`: rows scoring below
+        ``drift_floor`` count as drifted, over a window of
+        ``drift_window`` recent scores.
     """
 
     def __init__(
@@ -74,6 +95,10 @@ class TransformService:
         max_batch_size: int = 256,
         max_wait: float = 0.002,
         metrics: MetricsRegistry | None = None,
+        drift: bool = False,
+        drift_sample: int = 32,
+        drift_window: int = 4096,
+        drift_floor: float = 0.5,
     ):
         self.registry = (
             registry if isinstance(registry, ModelRegistry) else ModelRegistry(registry)
@@ -83,6 +108,15 @@ class TransformService:
         self.max_batch_size = max_batch_size
         self.max_wait = max_wait
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if drift and drift_sample < 1:
+            raise ValidationError(
+                f"drift_sample must be >= 1 when drift is enabled; got "
+                f"{drift_sample}"
+            )
+        self.drift = bool(drift)
+        self.drift_sample = int(drift_sample)
+        self.drift_window = int(drift_window)
+        self.drift_floor = float(drift_floor)
         self._models: dict[tuple[str, int], _ServedModel] = {}
         # Pinned name@version specs are immutable, so their resolution is
         # memoized; bare names / @latest re-resolve through the registry
@@ -126,6 +160,7 @@ class TransformService:
         else:
             result = self._transform_cached(served, X)
         self._account(served, X.shape[0], time.perf_counter() - start)
+        self._observe_drift(served, X, result)
         return result
 
     def transform_one(self, spec: str, row) -> np.ndarray:
@@ -187,6 +222,9 @@ class TransformService:
         # second miss for the same lookup.
         result = served.batcher.transform(row[None, :])[0]
         served.cache.put(key, result)
+        # Score on the miss path only: a cache hit re-serves a row that
+        # was already scored (or deliberately skipped) when computed.
+        self._observe_drift(served, row[None, :], result[None, :])
         # Freeze the miss result too: hits are read-only cache views, and
         # a result whose mutability depends on cache state would turn
         # caller mutation into an intermittent, cache-warmth-dependent
@@ -335,11 +373,27 @@ class TransformService:
                         "no transform method and cannot be served by "
                         "TransformService"
                     )
+                scorer = monitor = None
+                if self.drift:
+                    # Lazy import: lifecycle pulls in the numeric core,
+                    # which a drift-free service never needs.
+                    from ..lifecycle import DriftMonitor, scorer_for
+
+                    scorer = scorer_for(model)
+                    if scorer is not None:
+                        monitor = DriftMonitor(
+                            window=self.drift_window,
+                            floor=self.drift_floor,
+                            metrics=self.metrics,
+                            name=record.spec,
+                        )
                 served = _ServedModel(
                     record=record,
                     model=model,
                     batcher=BatchTransformer(model, chunk_size=self.chunk_size),
                     cache=LRUCache(max_size=self.cache_size),
+                    scorer=scorer,
+                    monitor=monitor,
                 )
                 self._models[key] = served
         return served
@@ -403,3 +457,41 @@ class TransformService:
         self.metrics.inc("serving.requests", model=spec)
         self.metrics.inc("serving.rows", float(rows), model=spec)
         self.metrics.observe("serving.request_seconds", seconds, model=spec)
+
+    def _observe_drift(self, served: _ServedModel, X, Z) -> None:
+        """Fold a stride-sample of a served batch into the drift monitor.
+
+        Never raises: a scoring failure increments
+        ``serving.drift_errors`` and the request succeeds regardless —
+        drift accounting is observability, not a serving dependency.
+        """
+        monitor = served.monitor
+        if monitor is None:
+            return
+        n = X.shape[0]
+        if n == 0:
+            return
+        step = max(1, n // self.drift_sample)
+        idx = np.arange(0, n, step)[: self.drift_sample]
+        try:
+            scores = served.scorer(X[idx], Z[idx])
+            monitor.observe(scores)
+        except Exception:
+            self.metrics.inc("serving.drift_errors", model=served.record.spec)
+
+    def drift_status(self) -> dict:
+        """Per-model drift snapshots for the warm models.
+
+        ``{"enabled": bool, "models": {spec: DriftMonitor.snapshot()}}``;
+        models without landmark coordinates (no scorer) are reported with
+        ``None``.
+        """
+        with self._load_lock:
+            served_models = list(self._models.values())
+        models = {}
+        for served in served_models:
+            spec = served.record.spec
+            models[spec] = (
+                served.monitor.snapshot() if served.monitor is not None else None
+            )
+        return {"enabled": self.drift, "models": models}

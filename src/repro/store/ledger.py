@@ -59,7 +59,12 @@ def default_store_root() -> Path:
 
 @dataclass(frozen=True)
 class LedgerEntry:
-    """One persisted run cell, as stored under its content address."""
+    """One persisted run cell, as stored under its content address.
+
+    ``parent`` links an incremental refit to the entry it was warm-started
+    from (``None`` for root fits) — the refresh lineage the lifecycle
+    layer records and :meth:`RunLedger.lineage` walks.
+    """
 
     digest: str
     kind: str
@@ -69,6 +74,7 @@ class LedgerEntry:
     library_version: str = ""
     has_model: bool = False
     path: str = ""
+    parent: str | None = None
 
 
 class RunLedger:
@@ -145,7 +151,9 @@ class RunLedger:
         return self.root / _MODELS / digest[:2] / f"{digest}.npz"
 
     # --------------------------------------------------------- write API
-    def put(self, task: dict, payload: dict, *, model=None) -> LedgerEntry:
+    def put(
+        self, task: dict, payload: dict, *, model=None, parent: str | None = None
+    ) -> LedgerEntry:
         """Persist one completed cell; returns its :class:`LedgerEntry`.
 
         ``task`` is the canonical descriptor (must carry ``"kind"``) that
@@ -153,14 +161,26 @@ class RunLedger:
         given, is a fitted estimator persisted alongside the entry through
         :func:`repro.io.save_model` — the blob a
         :meth:`~repro.serving.ModelRegistry.register_from_ledger` call
-        promotes into serving.
+        promotes into serving. ``parent``, if given, is the digest of the
+        entry this cell was incrementally derived from (a warm-started
+        landmark refresh); it is stored as entry metadata — *not* part of
+        the task — so the content address stays a pure function of the
+        task while ``verify``/``gc`` still see the lineage.
         """
         if not isinstance(payload, dict):
             raise ValidationError(
                 f"ledger payloads must be dicts; got {type(payload).__name__}"
             )
+        if parent is not None and not (
+            isinstance(parent, str) and len(parent) == 64
+        ):
+            raise ValidationError(
+                f"parent must be a 64-hex entry digest; got {parent!r}"
+            )
         start = time.perf_counter()
         digest = task_digest(task)
+        if parent == digest:
+            raise ValidationError("an entry cannot be its own parent")
         path = self._object_path(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         if model is not None:
@@ -176,6 +196,8 @@ class RunLedger:
             "library_version": __version__,
             "has_model": model is not None,
         }
+        if parent is not None:
+            entry["parent"] = parent
         text = json.dumps(entry, sort_keys=True, allow_nan=True) + "\n"
         atomic_write(path, lambda handle: handle.write(text), mode="w")
         registry = get_registry()
@@ -260,6 +282,32 @@ class RunLedger:
         entries.sort(key=lambda e: (e.created_at, e.digest))
         return entries
 
+    def children(self, digest: str) -> list[LedgerEntry]:
+        """Entries whose ``parent`` link points at ``digest``, oldest first."""
+        return [entry for entry in self.ls() if entry.parent == digest]
+
+    def lineage(self, digest: str) -> list[LedgerEntry]:
+        """The refresh chain ending at ``digest``, root first.
+
+        Walks ``parent`` links until a root (no parent) or a dangling link
+        (parent entry gone — ``verify`` reports those) is reached. Cycles
+        are impossible on honestly written ledgers (a parent must exist
+        before a child references it) but a visited-set guard keeps
+        hand-edited stores from hanging the walk.
+        """
+        chain: list[LedgerEntry] = []
+        seen: set[str] = set()
+        current: str | None = digest
+        while current is not None and current not in seen:
+            seen.add(current)
+            entry = self.get(current)
+            if entry is None:
+                break
+            chain.append(entry)
+            current = entry.parent
+        chain.reverse()
+        return chain
+
     # -------------------------------------------------------- maintenance
     def gc(
         self,
@@ -281,7 +329,10 @@ class RunLedger:
         writer's fresh blob must not be mistaken for an orphan. Healthy
         entries are removed only when a filter says so: ``kind`` selects a
         payload kind, ``older_than`` an age in seconds (filters compose
-        with AND). ``dry_run`` reports without touching disk.
+        with AND). Entries that surviving children link to as ``parent``
+        are never removed (reported under ``kept_parents`` instead), so a
+        filter sweep cannot sever a live refresh lineage. ``dry_run``
+        reports without touching disk.
         """
         get_registry().inc("ledger.gc_runs", root=str(self.root))
         removed, orphans, tmp_files, corrupt = [], [], [], []
@@ -312,9 +363,30 @@ class RunLedger:
                         path.unlink(missing_ok=True)
                         self.model_path(path.stem).unlink(missing_ok=True)
         select_entries = kind is not None or older_than is not None
+        kept_parents: list[str] = []
         if select_entries:
-            for entry in self.ls(kind=kind):
-                if older_than is not None and now - entry.created_at < older_than:
+            everything = self.ls()
+            matching = [
+                entry
+                for entry in everything
+                if (kind is None or entry.kind == kind)
+                and (
+                    older_than is None or now - entry.created_at >= older_than
+                )
+            ]
+            # Lineage protection: an entry that a *surviving* child links
+            # to stays — deleting it would leave the child's refresh
+            # provenance dangling. (A selected parent whose whole subtree
+            # is also selected goes out together with it.)
+            doomed = {entry.digest for entry in matching}
+            survivors_parents = {
+                entry.parent
+                for entry in everything
+                if entry.parent is not None and entry.digest not in doomed
+            }
+            for entry in matching:
+                if entry.digest in survivors_parents:
+                    kept_parents.append(entry.digest)
                     continue
                 removed.append(entry.digest)
                 if not dry_run:
@@ -339,6 +411,7 @@ class RunLedger:
             "corrupt": corrupt,
             "orphans": orphans,
             "tmp_files": tmp_files,
+            "kept_parents": kept_parents,
         }
 
     def verify(self) -> dict:
@@ -392,6 +465,23 @@ class RunLedger:
                     problems.append(
                         {"digest": name, "error": f"model blob: {exc}"}
                     )
+                    continue
+            parent = data.get("parent")
+            if parent is not None:
+                if not (isinstance(parent, str) and len(parent) == 64):
+                    problems.append(
+                        {"digest": name, "error": f"malformed parent link: {parent!r}"}
+                    )
+                elif not self._object_path(parent).is_file():
+                    problems.append(
+                        {
+                            "digest": name,
+                            "error": (
+                                f"dangling parent link {parent[:12]}… "
+                                "(refresh lineage broken)"
+                            ),
+                        }
+                    )
         return {"checked": checked, "problems": problems}
 
     # ------------------------------------------------------------ helpers
@@ -405,6 +495,9 @@ class RunLedger:
             library_version=str(data.get("library_version", "")),
             has_model=bool(data.get("has_model", False)),
             path=str(path),
+            parent=(
+                str(data["parent"]) if data.get("parent") is not None else None
+            ),
         )
 
 

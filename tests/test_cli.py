@@ -282,3 +282,69 @@ class TestRegisterFromLedger:
             "--from-ledger", "f" * 64,
         ]) == 2
         assert "exactly one source" in capsys.readouterr().err
+
+
+class TestLifecycleCommands:
+    @pytest.fixture
+    def bundle(self, tmp_path):
+        import numpy as np
+
+        from repro.graphs import knn_graph
+
+        rng = np.random.default_rng(17)
+        X = rng.normal(size=(250, 6))
+        path = tmp_path / "bundle.npz"
+        np.savez(
+            path,
+            X=X,
+            w_fair=knn_graph(X, n_neighbors=6).toarray(),
+            X_new=rng.normal(loc=4.0, size=(60, 6)),
+        )
+        return path, tmp_path
+
+    def _flags(self, path, root):
+        return [
+            "--data", str(path),
+            "--name", "pfr-cli",
+            "--registry", str(root / "registry"),
+            "--store", str(root / "ledger"),
+            "--components", "3",
+            "--landmarks", "64",
+            "--min-rows", "16",
+        ]
+
+    def test_refresh_promotes_v2_with_lineage(self, bundle, capsys):
+        path, root = bundle
+        assert main(
+            ["lifecycle", "refresh", *self._flags(path, root), "--json"]
+        ) == 0
+        event = json.loads(capsys.readouterr().out)
+        assert event["refresh"] is not None
+        assert event["refresh"]["version"] == 2
+        assert not event["refresh"]["rolled_back"]
+        assert main(
+            [
+                "lifecycle", "status", "pfr-cli",
+                "--registry", str(root / "registry"),
+                "--store", str(root / "ledger"),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "v2" in out and "refreshed" in out
+
+    def test_refresh_without_x_new_errors(self, bundle, capsys, tmp_path):
+        import numpy as np
+
+        path, root = bundle
+        with np.load(path) as data:
+            stripped = {k: data[k] for k in data.files if k != "X_new"}
+        bad = tmp_path / "no-new.npz"
+        np.savez(bad, **stripped)
+        assert main(["lifecycle", "refresh", *self._flags(bad, root)]) != 0
+        assert "X_new" in capsys.readouterr().err
+
+    def test_missing_bundle_errors(self, tmp_path, capsys):
+        assert main(
+            ["lifecycle", "refresh", *self._flags(tmp_path / "ghost.npz", tmp_path)]
+        ) != 0
+        assert "not found" in capsys.readouterr().err

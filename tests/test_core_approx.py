@@ -20,11 +20,13 @@ from repro import PFR, KernelPFR
 from repro.core import (
     LANDMARK_STRATEGIES,
     LandmarkPlan,
+    PlanExtension,
     SpectralFitPlan,
     embedding_fidelity,
     fit_path,
     nystrom_extend,
     plan_for_estimator,
+    row_agreement,
     select_landmarks,
 )
 from repro.datasets import simulate_blobs
@@ -329,3 +331,200 @@ class TestPersistence:
         model = PFR(n_components=2).fit(X, w_fair)
         loaded = load_model(save_model(model, tmp_path / "exact"))
         assert loaded.landmark_indices_ is None
+
+
+class TestRowAgreement:
+    def test_identical_embeddings_score_one(self, rng):
+        Z = rng.normal(size=(20, 3))
+        np.testing.assert_allclose(row_agreement(Z, Z), 1.0, atol=1e-12)
+
+    def test_scale_mismatch_collapses_the_score(self, rng):
+        # Pure cosine is scale-blind; the norm-ratio factor is what makes
+        # the drift signal catch mean-shifted rows whose parametric image
+        # leaves the landmark hull with an inflated norm.
+        Z = rng.normal(size=(20, 3))
+        scores = row_agreement(Z, 10.0 * Z)
+        np.testing.assert_allclose(scores, 0.1, atol=1e-12)
+
+    def test_zero_rows_do_not_blow_up(self):
+        Z = np.zeros((3, 2))
+        assert np.isfinite(row_agreement(Z, Z)).all()
+
+
+class TestStreamingExtend:
+    """The lifecycle half of extend(): append, score, warm-start refresh."""
+
+    @pytest.fixture(scope="class")
+    def fitted_plan_setup(self):
+        data = simulate_blobs(300, n_features=5, seed=11)
+        w_fair = between_group_quantile_graph(
+            data.side_information, data.s, n_quantiles=6
+        )
+        estimator = PFR(
+            n_components=3, gamma=0.5, extension="nystrom", landmarks=80
+        )
+        plan = LandmarkPlan.for_estimator(estimator, data.X, w_fair)
+        plan.fit(estimator)
+        rng = np.random.default_rng(13)
+        in_dist = data.X[rng.choice(data.X.shape[0], 60, replace=False)]
+        drifted = in_dist + 6.0
+        return plan, estimator, in_dist, drifted
+
+    def test_unfitted_plan_rejects_lifecycle_extend(self, blob_problem):
+        X, w_fair, X_eval = blob_problem
+        plan = LandmarkPlan.for_estimator(
+            PFR(n_components=2, extension="nystrom", landmarks=40), X, w_fair
+        )
+        with pytest.raises(ValidationError, match="fitted operating point"):
+            plan.extend(X_eval)
+
+    def test_scores_discriminate_drift(self, fitted_plan_setup):
+        plan, _, in_dist, drifted = fitted_plan_setup
+        assert np.mean(plan.score_rows(in_dist)) > np.mean(
+            plan.score_rows(drifted)
+        ) + 0.2
+
+    def test_extend_buffers_and_reports(self, fitted_plan_setup):
+        plan, _, in_dist, drifted = fitted_plan_setup
+        before = plan.n_pending
+        ext = plan.extend(in_dist[:10], refresh="never")
+        assert isinstance(ext, PlanExtension)
+        assert ext.plan is plan and not ext.refreshed
+        assert ext.scores.shape == (10,)
+        assert plan.n_pending == before + 10
+        assert ext.n_pending == plan.n_pending
+        # Baseline quantiles come from the fit-time distribution.
+        assert 0.0 < ext.baseline["p05"] <= 1.0
+
+    def test_refresh_folds_pending_into_child(self, fitted_plan_setup):
+        plan, estimator, _, drifted = fitted_plan_setup
+        pending_before = plan.n_pending
+        plan.extend(drifted, refresh="never")
+        child = plan.refresh()
+        assert plan.n_pending == 0  # buffer consumed
+        q = pending_before + drifted.shape[0]
+        assert child.X.shape[0] == plan.X.shape[0] + q
+        assert child.n_landmarks > plan.n_landmarks
+        assert child.parent is plan
+        # New landmarks come from the pending rows only.
+        new_indices = child.indices_[len(plan.indices_):]
+        assert (new_indices >= plan.X.shape[0]).all()
+        # The child fits a re-budgeted clone and serves unseen rows.
+        refit = PFR(
+            n_components=3, gamma=0.5, extension="nystrom",
+            landmarks=child.n_landmarks,
+        )
+        child.fit(refit)
+        Z = refit.transform(drifted[:5])
+        assert Z.shape == (5, 3) and np.isfinite(Z).all()
+        # The once-drifted region scores in-distribution under the child.
+        assert np.mean(child.score_rows(drifted)) > np.mean(
+            plan.score_rows(drifted)
+        )
+
+    def test_child_digests_chain_off_parent(self, fitted_plan_setup):
+        plan, _, in_dist, _ = fitted_plan_setup
+        plan.extend(in_dist, refresh="never")
+        child = plan.refresh()
+        parent_digests = plan.stage_digests()
+        child_digests = child.stage_digests()
+        assert "extend" not in parent_digests  # roots emit legacy keys only
+        assert "extend" in child_digests
+        assert child_digests["landmarks"] != parent_digests["landmarks"]
+
+    def test_extend_leaves_parent_digests_untouched(self, blob_problem):
+        # Acceptance: with the refresh feature unused (or merely buffering),
+        # existing stage digests stay byte-identical.
+        X, w_fair, X_eval = blob_problem
+        estimator = PFR(n_components=2, extension="nystrom", landmarks=40)
+        plan = LandmarkPlan.for_estimator(estimator, X, w_fair)
+        plan.fit(estimator)
+        before = dict(plan.stage_digests())
+        plan.extend(X_eval, refresh="never")
+        assert plan.stage_digests() == before
+
+    def test_refresh_without_pending_raises(self, blob_problem):
+        X, w_fair, _ = blob_problem
+        plan = LandmarkPlan.for_estimator(
+            PFR(n_components=2, extension="nystrom", landmarks=40), X, w_fair
+        )
+        with pytest.raises(ValidationError, match="no pending rows"):
+            plan.refresh()
+
+    def test_refresh_always_mode_returns_child(self, fitted_plan_setup):
+        plan, _, in_dist, _ = fitted_plan_setup
+        ext = plan.extend(in_dist[:8], refresh="always")
+        assert ext.refreshed and ext.plan is not plan
+        assert ext.n_pending == 0
+
+    def test_w_fair_new_rides_along(self, fitted_plan_setup):
+        plan, _, _, drifted = fitted_plan_setup
+        q = drifted.shape[0]
+        w_new = np.zeros((q, q))
+        w_new[0, 1] = w_new[1, 0] = 1.0
+        ext = plan.extend(drifted, w_fair_new=w_new, refresh="never")
+        assert ext.plan.n_pending >= q
+        child = plan.refresh()
+        assert child.subplan.w_fair.shape[0] == child.n_landmarks
+
+    def test_w_fair_new_shape_mismatch_raises(self, fitted_plan_setup):
+        plan, _, in_dist, _ = fitted_plan_setup
+        with pytest.raises(ValidationError, match="w_fair_new"):
+            plan.extend(in_dist, w_fair_new=np.zeros((3, 3)), refresh="never")
+
+    def test_invalid_refresh_mode_raises(self, fitted_plan_setup):
+        plan, _, in_dist, _ = fitted_plan_setup
+        with pytest.raises(ValidationError, match="refresh"):
+            plan.extend(in_dist, refresh="sometimes")
+
+
+class TestStreamingRegressions:
+    """Edge cases the streaming layer flushed out (ISSUE 9 satellite b)."""
+
+    def test_select_landmarks_rejects_non_integer(self, rng):
+        X = rng.normal(size=(20, 3))
+        with pytest.raises(ValidationError, match="integer"):
+            select_landmarks(X, 7.5)
+
+    def test_select_landmarks_rejects_m_over_n(self, rng):
+        X = rng.normal(size=(20, 3))
+        with pytest.raises(ValidationError, match=r"\[2, n=20\]"):
+            select_landmarks(X, 21)
+        with pytest.raises(ValidationError, match=r"\[2, n=20\]"):
+            select_landmarks(X, 1)
+
+    def test_nystrom_extend_rejects_empty_batch(self, rng):
+        with pytest.raises(ValidationError, match="X_new"):
+            nystrom_extend(
+                np.empty((0, 3)),
+                rng.normal(size=(10, 3)),
+                rng.normal(size=(10, 2)),
+            )
+
+    def test_nystrom_extend_single_landmark_needs_bandwidth(self, rng):
+        X_landmarks = rng.normal(size=(1, 3))
+        Z_landmarks = rng.normal(size=(1, 2))
+        with pytest.raises(ValidationError, match="bandwidth"):
+            nystrom_extend(rng.normal(size=(4, 3)), X_landmarks, Z_landmarks)
+        # With an explicit bandwidth the degenerate case is well-defined:
+        # every query lands on the lone landmark's embedding.
+        Z = nystrom_extend(
+            rng.normal(size=(4, 3)), X_landmarks, Z_landmarks, bandwidth=1.0
+        )
+        np.testing.assert_allclose(Z, np.repeat(Z_landmarks, 4, axis=0))
+
+    def test_extend_rejects_zero_row_batch(self, blob_problem):
+        X, w_fair, _ = blob_problem
+        estimator = PFR(n_components=2, extension="nystrom", landmarks=40)
+        plan = LandmarkPlan.for_estimator(estimator, X, w_fair)
+        plan.fit(estimator)
+        with pytest.raises(ValidationError, match="X_new"):
+            plan.extend(np.empty((0, X.shape[1])), refresh="never")
+
+    def test_extend_rejects_feature_mismatch(self, blob_problem):
+        X, w_fair, _ = blob_problem
+        estimator = PFR(n_components=2, extension="nystrom", landmarks=40)
+        plan = LandmarkPlan.for_estimator(estimator, X, w_fair)
+        plan.fit(estimator)
+        with pytest.raises(ValidationError, match="features"):
+            plan.extend(np.zeros((4, X.shape[1] + 1)), refresh="never")

@@ -1,0 +1,109 @@
+"""Tests for repro.datasets.split — stratified train/test splitting."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.datasets import simulate_admissions, train_test_split
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return simulate_admissions(400, seed=21)
+
+
+def _rates(dataset):
+    return float(np.mean(dataset.y)), float(np.mean(dataset.s))
+
+
+class TestStratifiedSplit:
+    def test_sizes_exact_and_disjoint(self, workload):
+        n = workload.n_samples
+        train, test = train_test_split(workload, test_size=0.25, seed=0)
+        assert test.n_samples == round(0.25 * n)
+        assert train.n_samples == n - test.n_samples
+        # The two sides partition the rows: joint label/group counts add
+        # back up to the full workload's.
+        for value in (0, 1):
+            total = int(np.sum(workload.s == value))
+            assert int(np.sum(train.s == value)) + int(
+                np.sum(test.s == value)
+            ) == total
+
+    def test_joint_composition_preserved(self, workload):
+        train, test = train_test_split(
+            workload, test_size=0.25, seed=3, stratify_on=("y", "s")
+        )
+        y_rate, s_rate = _rates(workload)
+        for side in (train, test):
+            side_y, side_s = _rates(side)
+            # Largest-remainder puts every stratum within one row of
+            # proportional, so rates match to ~1 row / n_side.
+            assert abs(side_y - y_rate) < 0.02
+            assert abs(side_s - s_rate) < 0.02
+
+    def test_deterministic_given_seed(self, workload):
+        a = train_test_split(workload, seed=7)
+        b = train_test_split(workload, seed=7)
+        np.testing.assert_array_equal(a[1].X, b[1].X)
+        c = train_test_split(workload, seed=8)
+        assert not np.array_equal(a[1].X, c[1].X)
+
+    def test_absolute_count(self, workload):
+        _, test = train_test_split(workload, test_size=50)
+        assert test.n_samples == 50
+
+    def test_plain_split_with_no_strata(self, workload):
+        n = workload.n_samples
+        train, test = train_test_split(workload, stratify_on=())
+        assert test.n_samples == round(0.25 * n)
+        assert train.n_samples == n - test.n_samples
+
+    def test_stratify_on_feature_name_and_index(self, workload):
+        name = workload.feature_names[0]
+        by_name = train_test_split(workload, seed=5, stratify_on=(name,))
+        by_index = train_test_split(workload, seed=5, stratify_on=(0,))
+        np.testing.assert_array_equal(by_name[1].X, by_index[1].X)
+
+    def test_tiny_strata_stay_in_train(self, workload):
+        # A stratum too small to earn a test row contributes nothing to
+        # the test side rather than being over-sampled.
+        strata_col = workload.X[:, 0]
+        rare = np.argsort(strata_col)[:2]
+        marker = np.zeros(workload.n_samples)
+        marker[rare] = 1.0
+        patched = dataclasses.replace(
+            workload,
+            X=np.column_stack([workload.X, marker]),
+            feature_names=tuple(workload.feature_names) + ("rare",),
+        )
+        _, test = train_test_split(
+            patched, test_size=0.05, seed=0, stratify_on=("rare",)
+        )
+        rare_in_test = int(np.sum(test.X[:, -1]))
+        assert rare_in_test == 0
+
+
+class TestSplitValidation:
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 0])
+    def test_bad_test_size(self, workload, bad):
+        with pytest.raises(DatasetError):
+            train_test_split(workload, test_size=bad)
+
+    def test_full_size_count_rejected(self, workload):
+        with pytest.raises(DatasetError):
+            train_test_split(workload, test_size=workload.n_samples)
+
+    def test_unknown_key(self, workload):
+        with pytest.raises(DatasetError, match="stratification key"):
+            train_test_split(workload, stratify_on=("nope",))
+
+    def test_out_of_range_index(self, workload):
+        with pytest.raises(DatasetError, match="out of range"):
+            train_test_split(workload, stratify_on=(99,))
+
+    def test_non_key_type(self, workload):
+        with pytest.raises(DatasetError, match="keys"):
+            train_test_split(workload, stratify_on=(object(),))

@@ -1,0 +1,269 @@
+"""Tests for repro.lifecycle — drift detection and auto re-promotion.
+
+The loop under test: served/streamed rows are scored against the
+fit-time fidelity baseline (DriftMonitor), a RefreshPolicy decides when
+the staleness warrants a warm-start refit, and LifecycleController
+drives refresh → ledger (parent-linked entry) → registry (promoted
+version), rolling back to the previous version when the refreshed model
+regresses on an in-distribution holdout.
+"""
+
+import numpy as np
+import pytest
+
+from repro import PFR
+from repro.core import LandmarkPlan
+from repro.exceptions import ValidationError
+from repro.graphs import knn_graph
+from repro.lifecycle import (
+    DriftMonitor,
+    LifecycleController,
+    RefreshPolicy,
+    holdout_agreement,
+    scorer_for,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.serving import ModelRegistry
+from repro.store import RunLedger
+
+
+@pytest.fixture
+def fitted_setup(rng):
+    X = rng.normal(size=(300, 6))
+    w_fair = knn_graph(X, n_neighbors=8)
+    estimator = PFR(
+        n_components=3, gamma=0.5, extension="nystrom", landmarks=80
+    )
+    plan = LandmarkPlan.for_estimator(estimator, X, w_fair)
+    plan.fit(estimator)
+    return plan, estimator, X
+
+
+def _controller(plan, estimator, tmp_path, **kwargs):
+    kwargs.setdefault("metrics", MetricsRegistry())
+    kwargs.setdefault("policy", RefreshPolicy(stale_fraction=0.5, min_rows=32))
+    return LifecycleController(
+        plan,
+        estimator,
+        registry=ModelRegistry(tmp_path / "registry"),
+        name="pfr-live",
+        ledger=RunLedger(tmp_path / "ledger"),
+        **kwargs,
+    )
+
+
+class TestDriftMonitor:
+    def test_snapshot_tracks_window_and_floor(self):
+        monitor = DriftMonitor(window=4, floor=0.5, metrics=MetricsRegistry())
+        monitor.observe([0.9, 0.8])
+        monitor.observe([0.2, 0.1, 0.05])  # evicts 0.9
+        snap = monitor.snapshot()
+        assert snap["count"] == 4 and snap["total"] == 5
+        assert snap["drift_fraction"] == pytest.approx(0.75)
+
+    def test_empty_snapshot_is_json_safe(self):
+        snap = DriftMonitor(metrics=MetricsRegistry()).snapshot()
+        assert snap["count"] == 0 and snap["drift_fraction"] == 0.0
+
+    def test_floor_defaults_to_baseline_p05(self):
+        monitor = DriftMonitor(
+            baseline={"p05": 0.7}, metrics=MetricsRegistry()
+        )
+        assert monitor.floor == pytest.approx(0.7)
+
+    def test_rebase_resets_window_against_new_floor(self):
+        monitor = DriftMonitor(floor=0.5, metrics=MetricsRegistry())
+        monitor.observe([0.1, 0.2])
+        monitor.rebase({"p05": 0.3})
+        snap = monitor.snapshot()
+        assert snap["count"] == 0 and snap["floor"] == pytest.approx(0.3)
+
+    def test_observations_mirror_into_metrics(self):
+        metrics = MetricsRegistry()
+        monitor = DriftMonitor(floor=0.5, metrics=metrics, name="m")
+        monitor.observe([0.9, 0.1])
+        assert metrics.gauge_value(
+            "lifecycle.drift_fraction", model="m"
+        ) == pytest.approx(0.5)
+        assert metrics.histogram_summary(
+            "lifecycle.fidelity", model="m"
+        )["count"] == 2
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValidationError, match="window"):
+            DriftMonitor(window=0, metrics=MetricsRegistry())
+
+
+class TestRefreshPolicy:
+    def test_all_three_gates(self):
+        policy = RefreshPolicy(
+            stale_fraction=0.5, min_rows=10, min_interval=60.0
+        )
+        calm = {"count": 100, "drift_fraction": 0.1}
+        drifted = {"count": 100, "drift_fraction": 0.9}
+        thin = {"count": 5, "drift_fraction": 1.0}
+        assert policy.should_refresh(drifted)
+        assert not policy.should_refresh(calm)
+        assert not policy.should_refresh(thin)
+        # Hysteresis: a refresh 10 s ago blocks; one 120 s ago does not.
+        assert not policy.should_refresh(drifted, now=100.0, last_refresh=90.0)
+        assert policy.should_refresh(drifted, now=100.0, last_refresh=-20.0)
+
+    @pytest.mark.parametrize(
+        "kwargs", [
+            {"stale_fraction": 0.0},
+            {"stale_fraction": 1.5},
+            {"min_interval": -1.0},
+            {"min_rows": 0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValidationError):
+            RefreshPolicy(**kwargs)
+
+
+class TestScorerFor:
+    def test_discriminates_drift_on_landmark_pfr(self, fitted_setup):
+        _, estimator, X = fitted_setup
+        score = scorer_for(estimator)
+        assert score is not None
+        in_dist = score(X[:50])
+        far = score(X[:50] + 6.0)
+        assert in_dist.shape == (50,)
+        assert float(np.mean(in_dist)) > float(np.mean(far)) + 0.2
+
+    def test_precomputed_embedding_matches_transform(self, fitted_setup):
+        _, estimator, X = fitted_setup
+        score = scorer_for(estimator)
+        rows = X[:10]
+        np.testing.assert_allclose(
+            score(rows), score(rows, estimator.transform(rows)), atol=1e-12
+        )
+
+    def test_exact_fit_has_no_scorer(self, rng):
+        X = rng.normal(size=(60, 4))
+        model = PFR(n_components=2).fit(X, knn_graph(X, n_neighbors=5))
+        assert scorer_for(model) is None
+
+
+class TestHoldoutAgreement:
+    def test_mean_of_score_rows(self, fitted_setup):
+        plan, _, X = fitted_setup
+        value = holdout_agreement(plan, X[:40])
+        np.testing.assert_allclose(
+            value, float(np.mean(plan.score_rows(X[:40])))
+        )
+
+    def test_rejects_empty_holdout(self, fitted_setup):
+        plan, _, _ = fitted_setup
+        with pytest.raises(ValidationError, match="holdout"):
+            holdout_agreement(plan, np.empty((0, 6)))
+
+
+class TestLifecycleController:
+    def test_requires_fitted_landmark_plan(self, fitted_setup, tmp_path):
+        plan, estimator, X = fitted_setup
+        unfitted = LandmarkPlan.for_estimator(
+            PFR(n_components=3, gamma=0.5, extension="nystrom", landmarks=80),
+            X,
+            knn_graph(X, n_neighbors=8),
+        )
+        with pytest.raises(ValidationError, match="fitted plan"):
+            _controller(unfitted, estimator, tmp_path)
+        with pytest.raises(ValidationError, match="LandmarkPlan"):
+            _controller(object(), estimator, tmp_path)
+
+    def test_ensure_registered_is_idempotent(self, fitted_setup, tmp_path):
+        plan, estimator, _ = fitted_setup
+        controller = _controller(plan, estimator, tmp_path)
+        assert controller.ensure_registered()["version"] == 1
+        assert controller.ensure_registered()["version"] == 1
+        assert len(controller.registry.versions("pfr-live")) == 1
+
+    def test_in_distribution_traffic_never_refreshes(
+        self, fitted_setup, tmp_path, rng
+    ):
+        plan, estimator, X = fitted_setup
+        controller = _controller(plan, estimator, tmp_path)
+        controller.ensure_registered()
+        for _ in range(3):
+            event = controller.ingest(
+                X[rng.integers(0, X.shape[0], size=40)]
+            )
+            assert event["refresh"] is None
+        assert controller.status()["refreshes"] == 0
+
+    def test_drift_triggers_refresh_and_promotion(
+        self, fitted_setup, tmp_path, rng
+    ):
+        plan, estimator, X = fitted_setup
+        controller = _controller(plan, estimator, tmp_path)
+        controller.ensure_registered()
+        event = None
+        for _ in range(5):
+            event = controller.ingest(
+                X[rng.integers(0, X.shape[0], size=40)] + 6.0
+            )
+            if event["refresh"] is not None:
+                break
+        refresh = event["refresh"]
+        assert refresh is not None and not refresh["rolled_back"]
+        assert refresh["version"] == 2
+        # The registry now serves the refreshed version...
+        record = controller.registry.record("pfr-live")
+        assert record.version == 2 and record.is_latest
+        assert "extend" in record.stage_digests
+        # ...and the ledger links child to parent.
+        entries = controller.ledger.ls(kind="lifecycle_model")
+        child = [e for e in entries if e.parent is not None]
+        assert len(child) == 1
+        assert len(controller.ledger.lineage(child[0].digest)) == 2
+        # The controller hot-swapped to the child plan and rebased.
+        assert controller.plan.parent is plan
+        assert controller.monitor.snapshot()["count"] == 0
+
+    def test_forced_refresh_needs_pending_rows(self, fitted_setup, tmp_path):
+        plan, estimator, _ = fitted_setup
+        controller = _controller(plan, estimator, tmp_path)
+        with pytest.raises(ValidationError, match="pending rows"):
+            controller.refresh()
+
+    def test_holdout_regression_rolls_back(self, fitted_setup, tmp_path, rng):
+        plan, estimator, X = fitted_setup
+        controller = _controller(
+            plan,
+            estimator,
+            tmp_path,
+            holdout=X[rng.choice(X.shape[0], 80, replace=False)],
+            holdout_tolerance=0.0,
+        )
+        controller.ensure_registered()
+        # An extreme shift: the refreshed landmark set serves the
+        # in-distribution holdout worse, so the refresh must roll back.
+        controller.ingest(
+            X[rng.integers(0, X.shape[0], size=60)] + 50.0
+        )
+        event = controller.refresh() if not controller.history else (
+            controller.history[-1]
+        )
+        assert event["rolled_back"]
+        assert event["holdout_child"] < event["holdout_parent"]
+        # @latest still points at version 1; the regressed version stays
+        # on disk for audit.
+        record = controller.registry.record("pfr-live")
+        assert record.version == 1 and record.is_latest
+        assert len(controller.registry.versions("pfr-live")) == 2
+        # The parent plan stays live.
+        assert controller.plan is plan
+        assert controller.status()["rollbacks"] == 1
+
+    def test_status_is_json_serialisable(self, fitted_setup, tmp_path):
+        import json
+
+        plan, estimator, _ = fitted_setup
+        controller = _controller(plan, estimator, tmp_path)
+        controller.ensure_registered()
+        status = controller.status()
+        assert status["serving"]["version"] == 1
+        assert status["pending"] == 0
+        json.dumps(status)  # must not raise

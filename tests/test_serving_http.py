@@ -494,3 +494,110 @@ class TestPromoteUnderLoad:
             stop.set()
             flip.join()
         assert not errors
+
+
+class TestDriftEndpoint:
+    def test_drift_route(self, fitted, registry):
+        X, *_ = fitted
+        service = TransformService(registry, drift=True)
+        with ServingServer(service, n_workers=2) as server:
+            status, body, _ = _call(server, "GET", "/drift")
+            assert status == 200
+            assert body == {"enabled": True, "models": {}}
+            _call(
+                server,
+                "POST",
+                "/transform",
+                payload={"model": "pfr@latest", "rows": X[:4].tolist()},
+            )
+            status, body, _ = _call(server, "GET", "/drift")
+            assert status == 200
+            # Exact fit: loaded, drift accounting unavailable -> None.
+            assert body["models"] == {"pfr@1": None}
+
+    def test_drift_rejects_post(self, fitted, registry):
+        service = TransformService(registry, drift=True)
+        with ServingServer(service, n_workers=2) as server:
+            status, body, _ = _call(server, "POST", "/drift", payload={})
+            assert status == 405
+
+    def test_landmark_model_reports_snapshot(self, tmp_path):
+        from repro.graphs import knn_graph
+
+        rng = np.random.default_rng(8)
+        X = rng.normal(size=(150, 4))
+        model = PFR(
+            n_components=2, gamma=0.5, extension="nystrom", landmarks=50
+        ).fit(X, knn_graph(X, n_neighbors=6))
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.register("pfr", model)
+        service = TransformService(registry, drift=True, drift_floor=0.3)
+        with ServingServer(service, n_workers=2) as server:
+            _call(
+                server,
+                "POST",
+                "/transform",
+                payload={"model": "pfr@latest", "rows": X[:16].tolist()},
+            )
+            status, body, _ = _call(server, "GET", "/drift")
+            assert status == 200
+            snap = body["models"]["pfr@1"]
+            assert snap["count"] > 0
+            assert snap["floor"] == pytest.approx(0.3)
+
+
+class TestRefreshHook:
+    def test_hook_fires_periodically_and_stops_with_server(self, registry):
+        fired = threading.Event()
+        calls = []
+
+        def hook():
+            calls.append(time.monotonic())
+            if len(calls) >= 2:
+                fired.set()
+
+        service = TransformService(registry)
+        server = ServingServer(
+            service, n_workers=2, refresh_hook=hook, refresh_interval=0.05
+        ).start()
+        try:
+            assert fired.wait(timeout=5.0), "refresh hook never fired twice"
+        finally:
+            server.close()
+        settled = len(calls)
+        time.sleep(0.2)
+        assert len(calls) == settled  # thread joined on close
+
+    def test_hook_errors_are_counted_not_fatal(self, fitted, registry):
+        X, *_ = fitted
+
+        def hook():
+            raise RuntimeError("refresh exploded")
+
+        service = TransformService(registry)
+        with ServingServer(
+            service, n_workers=2, refresh_hook=hook, refresh_interval=0.05
+        ) as server:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if service.metrics.counter_value("http.refresh_hook_errors"):
+                    break
+                time.sleep(0.05)
+            assert service.metrics.counter_value("http.refresh_hook_errors") >= 1
+            # The server still serves.
+            status, _, _ = _call(
+                server,
+                "POST",
+                "/transform",
+                payload={"model": "pfr@latest", "rows": X[:2].tolist()},
+            )
+            assert status == 200
+
+    def test_invalid_hook_parameters(self, registry):
+        service = TransformService(registry)
+        with pytest.raises(Exception, match="refresh_hook"):
+            ServingServer(service, refresh_hook="not-callable")
+        with pytest.raises(Exception, match="refresh_interval"):
+            ServingServer(
+                service, refresh_hook=lambda: None, refresh_interval=0.0
+            )

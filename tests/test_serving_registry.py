@@ -229,3 +229,56 @@ class TestManifest:
         (registry.root / "pfr" / "manifest.json").write_text("{not json")
         with pytest.raises(ValidationError, match="corrupt registry manifest"):
             registry.resolve("pfr")
+
+
+class TestPromoteRollbackUnderReaders:
+    """Lifecycle rollback = re-promoting the previous version while
+    concurrent readers follow @latest (ISSUE 9 satellite: the registry
+    must never expose a torn manifest mid-promote)."""
+
+    def test_latest_is_always_a_complete_version(self, registry, fitted_pfr):
+        import threading
+
+        model, X = fitted_pfr
+        registry.register("pfr", model)  # v1
+        registry.register("pfr", model)  # v2, latest
+        stop = threading.Event()
+        errors = []
+        seen = set()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    name, version = registry.resolve("pfr@latest")
+                    assert name == "pfr"
+                    seen.add(version)
+                    # The resolved version must be fully materialized:
+                    # its record loads and its artifact transforms.
+                    record = registry.record("pfr", version)
+                    assert record.version == version
+            except Exception as exc:  # pragma: no cover - only on failure
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        try:
+            # Promote/rollback churn: v2 -> v1 (rollback) -> v2 -> ...
+            for flip in range(30):
+                registry.promote("pfr", 1 + flip % 2)
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join()
+        assert not errors
+        assert seen <= {1, 2} and len(seen) == 2
+
+    def test_promote_returns_latest_record(self, registry, fitted_pfr):
+        model, _ = fitted_pfr
+        registry.register("pfr", model)
+        registry.register("pfr", model)
+        rollback = registry.promote("pfr", 1)
+        assert rollback.version == 1 and rollback.is_latest
+        assert registry.resolve("pfr@latest") == ("pfr", 1)
+        # The regressed version stays on disk for audit.
+        assert [r.version for r in registry.versions("pfr")] == [1, 2]

@@ -361,3 +361,94 @@ class TestMicrobatcher:
             for thread in threads:
                 thread.join()
         np.testing.assert_allclose(np.stack(results), expected)
+
+
+class TestDriftAccounting:
+    """Per-request drift scoring (opt-in) behind the metrics registry."""
+
+    @pytest.fixture
+    def landmark_setup(self, rng, tmp_path):
+        from repro.graphs import knn_graph
+
+        X = rng.normal(size=(200, 5))
+        model = PFR(
+            n_components=2, gamma=0.5, extension="nystrom", landmarks=60
+        ).fit(X, knn_graph(X, n_neighbors=6))
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.register("pfr", model)
+        return registry, model, X
+
+    def test_disabled_by_default(self, landmark_setup, rng):
+        registry, _, _ = landmark_setup
+        service = TransformService(registry)
+        service.transform("pfr", rng.normal(size=(8, 5)))
+        status = service.drift_status()
+        assert not status["enabled"]
+        assert status["models"] == {"pfr@1": None}  # loaded, no monitor
+
+    def test_enabled_populates_window(self, landmark_setup, rng):
+        registry, _, X = landmark_setup
+        service = TransformService(registry, drift=True, drift_floor=0.3)
+        service.transform("pfr", X[:40])
+        status = service.drift_status()
+        assert status["enabled"]
+        snap = status["models"]["pfr@1"]
+        assert snap["count"] > 0
+        assert snap["floor"] == pytest.approx(0.3)
+
+    def test_drifted_traffic_raises_drift_fraction(self, landmark_setup):
+        registry, _, X = landmark_setup
+        service = TransformService(
+            registry, drift=True, drift_floor=0.5, drift_sample=64
+        )
+        service.transform("pfr", X[:64])
+        calm = service.drift_status()["models"]["pfr@1"]["drift_fraction"]
+        service.transform("pfr", X[:64] + 8.0)
+        shifted = service.drift_status()["models"]["pfr@1"]["drift_fraction"]
+        assert shifted > calm
+
+    def test_single_row_path_scores_on_miss_not_hit(self, landmark_setup, rng):
+        registry, _, _ = landmark_setup
+        service = TransformService(registry, drift=True)
+        row = rng.normal(size=5)
+        service.transform_one("pfr", row)
+        count = service.drift_status()["models"]["pfr@1"]["count"]
+        assert count == 1
+        # A cache hit re-serves the embedding without re-scoring it.
+        service.transform_one("pfr", row)
+        assert service.drift_status()["models"]["pfr@1"]["count"] == count
+
+    def test_batch_sampling_is_bounded(self, landmark_setup, rng):
+        registry, _, X = landmark_setup
+        service = TransformService(registry, drift=True, drift_sample=8)
+        service.transform("pfr", X[:100])
+        assert service.drift_status()["models"]["pfr@1"]["count"] <= 8
+
+    def test_exact_model_reports_no_window(self, setup, rng):
+        # Exact fits carry no landmark coordinates: drift accounting is
+        # unavailable, transforms still serve, snapshot is None.
+        registry, _, _ = setup
+        service = TransformService(registry, drift=True)
+        service.transform("pfr", rng.normal(size=(8, 5)))
+        assert service.drift_status()["models"]["pfr@1"] is None
+
+    def test_scorer_errors_never_break_serving(self, landmark_setup, rng):
+        registry, _, X = landmark_setup
+        service = TransformService(registry, drift=True)
+        service.transform("pfr", X[:4])  # materialize the served model
+        served = service._models[("pfr", 1)]
+
+        def boom(X_rows, Z_rows=None):
+            raise RuntimeError("scorer exploded")
+
+        served.scorer = boom
+        Z = service.transform("pfr", X[:4])
+        assert np.isfinite(Z).all()
+        assert service.metrics.counter_value(
+            "serving.drift_errors", model="pfr@1"
+        ) >= 1
+
+    def test_invalid_drift_parameters(self, landmark_setup):
+        registry, _, _ = landmark_setup
+        with pytest.raises(ValidationError, match="drift_sample"):
+            TransformService(registry, drift=True, drift_sample=0)

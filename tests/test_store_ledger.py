@@ -471,3 +471,88 @@ class TestLedgerEntryShape:
         assert entry.library_version
         assert entry.created_at > 0
         assert entry.path.endswith(f"{entry.digest}.json")
+
+
+class TestLineage:
+    """parent links: put validation, lineage walks, gc/verify awareness."""
+
+    def _chain(self, tmp_path, depth=3):
+        ledger = RunLedger(tmp_path)
+        entries = []
+        parent = None
+        for i in range(depth):
+            entry = ledger.put(
+                _task(kind="lifecycle_model", step=i), {"i": i}, parent=parent
+            )
+            entries.append(entry)
+            parent = entry.digest
+        return ledger, entries
+
+    def test_put_records_parent(self, tmp_path):
+        ledger, entries = self._chain(tmp_path, depth=2)
+        root, child = entries
+        assert root.parent is None
+        assert child.parent == root.digest
+        # Round-trips through get().
+        assert ledger.get(child.digest).parent == root.digest
+
+    def test_put_rejects_bad_parent(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        with pytest.raises(ValidationError, match="parent"):
+            ledger.put(_task(), {}, parent="not-a-digest")
+        digest = task_digest(_task(x=1))
+        with pytest.raises(ValidationError, match="own parent"):
+            ledger.put(_task(x=1), {}, parent=digest)
+
+    def test_children_and_lineage_walk(self, tmp_path):
+        ledger, entries = self._chain(tmp_path, depth=3)
+        root, mid, leaf = entries
+        assert [e.digest for e in ledger.children(root.digest)] == [mid.digest]
+        chain = ledger.lineage(leaf.digest)  # root first
+        assert [e.digest for e in chain] == [
+            root.digest, mid.digest, leaf.digest
+        ]
+        # A root's lineage is itself.
+        assert [e.digest for e in ledger.lineage(root.digest)] == [root.digest]
+
+    def test_lineage_stops_at_dangling_parent(self, tmp_path):
+        import os
+
+        ledger, entries = self._chain(tmp_path, depth=2)
+        root, child = entries
+        os.unlink(root.path)
+        chain = ledger.lineage(child.digest)
+        assert [e.digest for e in chain] == [child.digest]
+
+    def test_gc_never_severs_live_lineage(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        root = ledger.put(_task(kind="lifecycle_model", step=0), {})
+        ledger.put(
+            _task(kind="other", step=1), {}, parent=root.digest
+        )
+        # The filter selects the root, but its surviving child links to
+        # it: the root must be kept and reported, not removed.
+        report = ledger.gc(kind="lifecycle_model")
+        assert report["removed"] == []
+        assert report["kept_parents"] == [root.digest]
+        assert ledger.contains(root.digest)
+        # With the whole subtree selected, parent and child go together.
+        report = ledger.gc(kind="lifecycle_model")  # child is kind="other"
+        assert ledger.contains(root.digest)
+        full = RunLedger(tmp_path / "full")
+        a = full.put(_task(kind="lifecycle_model", step=0), {})
+        full.put(_task(kind="lifecycle_model", step=1), {}, parent=a.digest)
+        report = full.gc(kind="lifecycle_model")
+        assert len(report["removed"]) == 2 and report["kept_parents"] == []
+
+    def test_verify_flags_dangling_parent(self, tmp_path):
+        import os
+
+        ledger, entries = self._chain(tmp_path, depth=2)
+        root, child = entries
+        assert ledger.verify()["problems"] == []
+        os.unlink(root.path)
+        problems = ledger.verify()["problems"]
+        assert len(problems) == 1
+        assert problems[0]["digest"] == child.digest
+        assert "dangling parent" in problems[0]["error"]
