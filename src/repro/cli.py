@@ -10,6 +10,7 @@ Usage::
 
     python -m repro experiments list
     python -m repro experiments run spec.yaml [--store DIR] [--workers 4]
+                                              [--shard I/K]
     python -m repro experiments sweep DATASET [--method pfr] [--workers 4] [--store DIR]
     python -m repro experiments tune DATASET [--methods original,pfr] [--store DIR]
     python -m repro experiments repeat DATASET [--seeds 0,1,2] [--store DIR]
@@ -17,6 +18,8 @@ Usage::
     python -m repro store ls [--store DIR] [--kind method_result]
     python -m repro store gc [--store DIR] [--kind K] [--older-than-days D]
     python -m repro store verify [--store DIR]
+    python -m repro store stats [--store DIR]
+    python -m repro store merge DEST SRC [SRC...] [--dry-run]
 
     python -m repro models register NAME artifact.npz [--registry DIR]
     python -m repro models register NAME --from-ledger DIGEST [--store DIR]
@@ -352,6 +355,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", default=None,
         help="process fan-out for the missing cells (count or 'auto')",
     )
+    run_spec_cmd.add_argument(
+        "--shard", default=None, metavar="I/K",
+        help="run only shard I of K (cells partitioned by a stable hash "
+             "of each task digest, so K machines with separate stores "
+             "cover the matrix exactly once; union the stores afterwards "
+             "with `repro store merge`)",
+    )
     run_spec_cmd.add_argument("--json", action="store_true",
                               help="emit the machine-readable run report")
     _obs_flags(run_spec_cmd)
@@ -421,6 +431,26 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="integrity-check every ledger entry"
     )
     _store_common(store_verify)
+
+    store_stats = store_sub.add_parser(
+        "stats",
+        help="entry/model inventory per kind plus this process's "
+             "hit/miss counters",
+    )
+    _store_common(store_stats)
+
+    store_merge = store_sub.add_parser(
+        "merge",
+        help="union source ledgers into DEST (idempotent by digest; "
+             "the scale-out counterpart of `experiments run --shard`)",
+    )
+    store_merge.add_argument("dest", help="destination ledger directory")
+    store_merge.add_argument("sources", nargs="+", metavar="SRC",
+                             help="source ledger directories to union in")
+    store_merge.add_argument("--dry-run", action="store_true",
+                             help="report without copying")
+    store_merge.add_argument("--json", action="store_true",
+                             help="emit machine-readable JSON")
 
     transform = subparsers.add_parser(
         "transform", help="transform a CSV of feature rows through a model"
@@ -865,12 +895,15 @@ def _cmd_experiments(args) -> int:
 
         spec = load_run_spec(args.spec)
         store = Path(args.store) if args.store else default_store_root()
-        report = run_spec(spec, store=store, workers=workers)
+        report = run_spec(
+            spec, store=store, workers=workers, shard=args.shard
+        )
         if args.json:
             print(json.dumps(report.to_json(), indent=2, sort_keys=True))
             return 0
+        shard_note = f" [shard {args.shard}]" if args.shard else ""
         print(
-            f"spec {spec.name!r}: {report.n_total} cells — "
+            f"spec {spec.name!r}{shard_note}: {report.n_total} cells — "
             f"{report.n_cached} cached, {report.n_computed} computed "
             f"(hit rate {report.hit_rate:.0%}) [store: {store}]"
         )
@@ -988,7 +1021,62 @@ def _cmd_experiments(args) -> int:
 def _cmd_store(args) -> int:
     from .experiments.report import render_table
 
+    if args.store_command == "merge":
+        from .store import merge_stores
+
+        report = merge_stores(
+            args.dest, *args.sources, dry_run=args.dry_run
+        )
+        if args.json:
+            print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+            return 0 if not report.conflicts else 1
+        verb = "would copy" if args.dry_run else "copied"
+        print(
+            f"{verb} {report.n_copied} entries "
+            f"({len(report.models_copied)} with model blobs) into "
+            f"{report.dest}; {report.n_deduped} already present "
+            f"(dedupe rate {report.dedupe_rate:.0%})"
+        )
+        for note in report.self_merges:
+            print(f"  skipped {note}: merging a store into itself is a no-op")
+        for item in report.skipped:
+            print(f"  SKIPPED {item['path']}: {item['reason']}")
+        for digest in report.missing_models:
+            print(f"  MISSING MODEL {digest[:16]}: entry claims a blob the "
+                  "source does not have")
+        for conflict in report.conflicts:
+            print(f"  CONFLICT {conflict['digest'][:16]} "
+                  f"(from {conflict['source']}): {conflict['error']}")
+        if report.conflicts:
+            print(f"{len(report.conflicts)} digest conflicts — the "
+                  "destination's entries were kept; investigate the sources")
+            return 1
+        return 0
+
     ledger = _ledger(args)
+
+    if args.store_command == "stats":
+        counts = ledger.counts()
+        stats = ledger.stats()
+        if args.json:
+            print(json.dumps(
+                {"root": str(ledger.root), "counts": counts,
+                 "session": stats},
+                indent=2, sort_keys=True,
+            ))
+            return 0
+        print(f"ledger {ledger.root}")
+        print(f"entries:      {counts['entries']} "
+              f"({counts['with_model']} with model blobs)")
+        for kind, n in counts["by_kind"].items():
+            print(f"  {kind or '(unknown)':16s} {n}")
+        print(f"model blobs:  {counts['model_blobs']}")
+        if counts["corrupt"]:
+            print(f"corrupt:      {counts['corrupt']} "
+                  "(repair: `repro store gc`)")
+        print(f"this process: {stats['lookups']} lookups, "
+              f"{stats['hits']} hits, {stats['puts']} puts")
+        return 0
 
     if args.store_command == "ls":
         entries = ledger.ls(kind=args.kind)

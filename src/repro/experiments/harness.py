@@ -82,9 +82,9 @@ def _ledger_fetch(ledger, digest: str):
     entry = ledger.get(digest)
     if entry is None:
         raise ValidationError(
-            f"ledger entry {digest[:12]}… vanished between computation and "
-            "read-back (concurrent gc or external deletion?); re-run to "
-            "recompute the missing cells"
+            f"ledger entry {digest[:12]}… vanished from {ledger.root} "
+            "between computation and read-back (concurrent gc or external "
+            "deletion?); re-run to recompute the missing cells"
         )
     return entry
 

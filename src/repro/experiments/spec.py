@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..exceptions import ValidationError
+from ..obs.metrics import get_registry
 from ..obs.trace import emit_metrics, span, trace_enabled
 from ..store import RunLedger, coerce_ledger, decode_method_result, task_digest
 from .builders import WorkloadFactory
@@ -51,7 +52,15 @@ from .harness import ExperimentHarness, cell_task
 from .parallel import get_executor, spawn_seeds
 from .repetition import _collect
 
-__all__ = ["RunSpec", "RunReport", "load_run_spec", "run_spec"]
+__all__ = [
+    "RunSpec",
+    "RunReport",
+    "load_run_spec",
+    "run_spec",
+    "compile_cells",
+    "parse_shard",
+    "shard_of",
+]
 
 #: Harness constructor knobs a spec may set (the split/graph/representation
 #: configuration). ``seed`` is excluded — it comes from the spec's seed
@@ -302,7 +311,8 @@ class RunReport:
         One dict per cell — ``dataset``, ``scale``, ``seed``, ``method``,
         ``gamma``, ``digest``, and ``cached`` (True when the cell was
         already in the ledger before this run) — in deterministic matrix
-        order.
+        order. A sharded run lists only its shard's cells and adds each
+        cell's ``shard`` index.
     results:
         ``{(dataset, method, gamma, seed): MethodResult}`` decoded from
         the ledger.
@@ -361,6 +371,129 @@ class RunReport:
         }
 
 
+# -- deterministic sharding ------------------------------------------------
+#
+# A sharded run partitions the compiled cell list by a stable hash of each
+# cell's *task digest* — never by list position — so the assignment is a
+# pure function of the cell's identity: reordering the spec, widening the
+# γ grid, or adding seeds/methods/datasets can add cells to a shard but
+# can never move an existing cell to a different one. K machines each run
+# `run_spec(spec, shard=(i, K))` against their own store; `repro store
+# merge` unions the stores; a final un-sharded `run_spec` over the merged
+# store finds every cell cached and rebuilds the exact un-sharded report.
+
+def shard_of(digest: str, n_shards: int) -> int:
+    """Shard index of a task digest: stable, order-free, uniform.
+
+    Uses the leading 64 bits of the (already cryptographic) digest modulo
+    ``n_shards``, so for any K the shards are a disjoint cover of the
+    cell set and an existing cell's assignment never changes when the
+    grid around it grows.
+    """
+    if not isinstance(n_shards, int) or n_shards < 1:
+        raise ValidationError(
+            f"n_shards must be a positive integer; got {n_shards!r}"
+        )
+    try:
+        return int(str(digest)[:16], 16) % n_shards
+    except ValueError as exc:
+        raise ValidationError(
+            f"not a hex task digest: {digest!r}"
+        ) from exc
+
+
+def parse_shard(shard) -> tuple[int, int] | None:
+    """Normalize a shard selector to ``(index, count)``.
+
+    Accepts ``None`` (no sharding), an ``(i, K)`` pair, or the CLI's
+    ``"i/K"`` string; validates ``0 <= i < K``.
+    """
+    if shard is None:
+        return None
+    if isinstance(shard, str):
+        index_text, sep, count_text = shard.partition("/")
+        if not sep:
+            raise ValidationError(
+                f"shard must look like 'i/K' (e.g. 0/4); got {shard!r}"
+            )
+        try:
+            index, count = int(index_text), int(count_text)
+        except ValueError as exc:
+            raise ValidationError(
+                f"shard must look like 'i/K' with integer i and K; "
+                f"got {shard!r}"
+            ) from exc
+    else:
+        try:
+            index, count = shard
+            index, count = int(index), int(count)
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(
+                f"shard must be None, 'i/K', or an (i, K) pair; got {shard!r}"
+            ) from exc
+    if count < 1:
+        raise ValidationError(f"shard count must be >= 1; got {count}")
+    if not 0 <= index < count:
+        raise ValidationError(
+            f"shard index must be in [0, {count}); got {index}"
+        )
+    return index, count
+
+
+def compile_cells(spec: RunSpec, *, ledger: RunLedger | None = None) -> list:
+    """The spec's flat cell list, in deterministic matrix order.
+
+    Each cell is a dict of ``dataset``/``scale``/``seed``/``method``/
+    ``gamma``/``digest``/``cached`` (``cached`` is False when no ledger is
+    given). This is the single compilation step shared by :func:`run_spec`
+    and the sharding layer — the digests here are what :func:`shard_of`
+    partitions, so tests can assert cover/disjointness/stability without
+    running anything.
+
+    Materializes each dataset × seed slice once, only to fingerprint it;
+    the arrays are dropped immediately, so memory peaks at one dataset
+    regardless of matrix size.
+    """
+    fingerprints = {}
+    for dataset_name, scale in spec.datasets:
+        factory = WorkloadFactory(dataset_name, scale=scale)
+        for seed in spec.seeds:
+            harness = ExperimentHarness(
+                factory(seed), seed=seed, **spec.harness
+            )
+            fingerprints[(dataset_name, scale, seed)] = (
+                harness.task_fingerprint()
+            )
+            del harness
+
+    cells = []
+    for dataset_name, scale in spec.datasets:
+        for method in spec.methods:
+            params = dict(spec.method_params.get(method, {}))
+            C = float(params.pop("C", 1.0))
+            for gamma in spec.gammas:
+                for seed in spec.seeds:
+                    key = (dataset_name, scale, seed)
+                    digest = task_digest(
+                        cell_task(fingerprints[key], method, gamma, C, params)
+                    )
+                    cells.append(
+                        {
+                            "dataset": dataset_name,
+                            "scale": scale,
+                            "seed": seed,
+                            "method": method,
+                            "gamma": gamma,
+                            "digest": digest,
+                            "cached": (
+                                ledger.contains(digest)
+                                if ledger is not None else False
+                            ),
+                        }
+                    )
+    return cells
+
+
 # -- executor task function (module-level for process-backend pickling) ----
 
 def _spec_cell_task(state, task):
@@ -384,21 +517,25 @@ def _spec_cell_task(state, task):
         state["harnesses"][key] = harness
     if not trace_enabled():
         return harness.run_method(method, gamma=gamma, C=C, **params)
-    with span(
-        "spec.cell",
-        digest=digest,
-        dataset=dataset_name,
-        method=method,
-        gamma=float(gamma),
-        seed=int(seed),
-        cached=False,
-        worker=os.getpid(),
-    ):
+    attrs = {
+        "digest": digest,
+        "dataset": dataset_name,
+        "method": method,
+        "gamma": float(gamma),
+        "seed": int(seed),
+        "cached": False,
+        "worker": os.getpid(),
+    }
+    if state.get("shard") is not None:
+        # Shard-labeled spans: a merged multi-machine trace stays
+        # attributable to the shard that computed each cell.
+        attrs["shard"] = state["shard"]
+    with span("spec.cell", **attrs):
         return harness.run_method(method, gamma=gamma, C=C, **params)
 
 
-def run_spec(spec: RunSpec, *, store, workers=None) -> RunReport:
-    """Execute a :class:`RunSpec` through a run ledger.
+def run_spec(spec: RunSpec, *, store, workers=None, shard=None) -> RunReport:
+    """Execute a :class:`RunSpec` (or one shard of it) through a run ledger.
 
     Compiles the matrix to cells, skips every digest already in the
     ledger, fans the missing cells out through the PR-4 executor (workers
@@ -418,18 +555,37 @@ def run_spec(spec: RunSpec, *, store, workers=None) -> RunReport:
         the ledger is what makes the spec resumable).
     workers:
         Process fan-out for the missing cells (``None`` = serial).
+    shard:
+        ``None`` (the whole matrix), or ``"i/K"`` / ``(i, K)`` to run only
+        the cells :func:`shard_of` assigns to shard *i* of *K*. The
+        partition is keyed on each cell's task digest, so it is disjoint,
+        covering, independent of cell order, and stable under grid
+        widening. K shards each with N workers compose: every shard runs
+        its own executor against its own store, and ``repro store merge``
+        unions the stores afterwards. A sharded report covers only this
+        shard's cells; aggregates are built only for (dataset, method, γ)
+        groups whose every seed landed in this shard, so no partial
+        cross-seed statistics ever leave a shard — re-run the merged
+        store un-sharded to rebuild the full (bitwise-identical) report.
     """
     ledger = coerce_ledger(store)
     if not isinstance(ledger, RunLedger):
-        raise ValidationError("run_spec requires a store (directory or RunLedger)")
+        raise ValidationError(
+            "run_spec requires a store (a ledger directory path or a "
+            f"RunLedger); got {store!r}"
+        )
+    shard = parse_shard(shard)
 
     start = time.perf_counter()
     stats_before = ledger.stats()
-    run_span = span("spec.run", name=spec.name)
+    span_attrs = {"name": spec.name}
+    if shard is not None:
+        span_attrs["shard"] = f"{shard[0]}/{shard[1]}"
+    run_span = span("spec.run", **span_attrs)
     run_span.__enter__()
     try:
         report = _run_spec_inner(
-            spec, ledger, workers, start, stats_before, run_span
+            spec, ledger, workers, shard, start, stats_before, run_span
         )
     except BaseException:
         run_span.__exit__(ValidationError, None, None)
@@ -442,61 +598,50 @@ def run_spec(spec: RunSpec, *, store, workers=None) -> RunReport:
 
 
 def _run_spec_inner(
-    spec: RunSpec, ledger: RunLedger, workers, start, stats_before, run_span
+    spec: RunSpec, ledger: RunLedger, workers, shard, start, stats_before,
+    run_span,
 ) -> RunReport:
-    # Materialize each dataset × seed slice once in the parent, only to
-    # compute its (small) task fingerprint — the dataset itself is dropped
-    # immediately, so parent memory peaks at one dataset regardless of the
-    # matrix size. Workers likewise rebuild their own slices lazily from
-    # the picklable factory arguments; datasets are never shipped.
-    fingerprints = {}
-    for dataset_name, scale in spec.datasets:
-        factory = WorkloadFactory(dataset_name, scale=scale)
-        for seed in spec.seeds:
-            harness = ExperimentHarness(
-                factory(seed), seed=seed, **spec.harness
-            )
-            fingerprints[(dataset_name, scale, seed)] = (
-                harness.task_fingerprint()
-            )
-            del harness
-
-    cells = []
-    pending = []
-    for dataset_name, scale in spec.datasets:
-        for method in spec.methods:
-            params = dict(spec.method_params.get(method, {}))
-            C = float(params.pop("C", 1.0))
-            for gamma in spec.gammas:
-                for seed in spec.seeds:
-                    key = (dataset_name, scale, seed)
-                    digest = task_digest(
-                        cell_task(fingerprints[key], method, gamma, C, params)
-                    )
-                    cached = ledger.contains(digest)
-                    cells.append(
-                        {
-                            "dataset": dataset_name,
-                            "scale": scale,
-                            "seed": seed,
-                            "method": method,
-                            "gamma": gamma,
-                            "digest": digest,
-                            "cached": cached,
-                        }
-                    )
-                    if not cached:
-                        pending.append(
-                            (dataset_name, scale, seed, method, gamma, C,
-                             params, digest)
-                        )
+    cells = compile_cells(spec, ledger=ledger)
+    shard_label = None
+    if shard is not None:
+        index, count = shard
+        shard_label = f"{index}/{count}"
+        for cell in cells:
+            cell["shard"] = shard_of(cell["digest"], count)
+        cells = [cell for cell in cells if cell["shard"] == index]
+    method_call = {}
+    for method in spec.methods:
+        params = dict(spec.method_params.get(method, {}))
+        method_call[method] = (float(params.pop("C", 1.0)), params)
+    pending = [
+        (
+            cell["dataset"], cell["scale"], cell["seed"], cell["method"],
+            cell["gamma"], method_call[cell["method"]][0],
+            method_call[cell["method"]][1], cell["digest"],
+        )
+        for cell in cells
+        if not cell["cached"]
+    ]
 
     run_span.set(
         total=len(cells),
         cached=len(cells) - len(pending),
         computed=len(pending),
     )
-    state = {"harnesses": {}, "store": ledger, "harness_kwargs": spec.harness}
+    if shard_label is not None:
+        # Shard-labeled metrics: a fleet scraping one registry can tell
+        # the shards' progress apart.
+        registry = get_registry()
+        registry.inc("spec.shard.cells", len(cells),
+                     name=spec.name, shard=shard_label)
+        registry.inc("spec.shard.computed", len(pending),
+                     name=spec.name, shard=shard_label)
+    state = {
+        "harnesses": {},
+        "store": ledger,
+        "harness_kwargs": spec.harness,
+        "shard": shard_label,
+    }
     get_executor(workers).map(_spec_cell_task, pending, state=state)
 
     results = {}
@@ -506,7 +651,8 @@ def _run_spec_inner(
             raise ValidationError(
                 f"cell {cell['dataset']}/{cell['method']}/gamma="
                 f"{cell['gamma']:g}/seed={cell['seed']} is missing from the "
-                "ledger after execution; re-run the spec to resume"
+                f"ledger at {ledger.root} after execution; re-run the spec "
+                "to resume"
             )
         results[
             (cell["dataset"], cell["method"], cell["gamma"], cell["seed"])
@@ -517,12 +663,19 @@ def _run_spec_inner(
         for dataset_name, _scale in spec.datasets:
             for method in spec.methods:
                 for gamma in spec.gammas:
-                    aggregates[(dataset_name, method, gamma)] = _collect(
-                        [
-                            results[(dataset_name, method, gamma, seed)]
-                            for seed in spec.seeds
-                        ]
-                    )
+                    group = [
+                        results[(dataset_name, method, gamma, seed)]
+                        for seed in spec.seeds
+                        if (dataset_name, method, gamma, seed) in results
+                    ]
+                    # A shard holding only some of a group's seeds must
+                    # not publish a partial mean/std — those cells
+                    # aggregate after the merge, where every seed is
+                    # present.
+                    if len(group) == len(spec.seeds):
+                        aggregates[(dataset_name, method, gamma)] = _collect(
+                            group
+                        )
 
     stats_after = ledger.stats()
     delta = {
@@ -542,6 +695,8 @@ def _run_spec_inner(
         "ledger": delta,
         "trace_enabled": trace_enabled(),
     }
+    if shard_label is not None:
+        telemetry["shard"] = shard_label
     return RunReport(
         spec=spec, cells=cells, results=results, aggregates=aggregates,
         telemetry=telemetry,

@@ -24,12 +24,15 @@ from .codecs import (
     encode_method_result,
 )
 from .ledger import LedgerEntry, RunLedger, coerce_ledger, default_store_root
+from .merge import MergeReport, merge_stores
 
 __all__ = [
     "RunLedger",
     "LedgerEntry",
     "coerce_ledger",
     "default_store_root",
+    "MergeReport",
+    "merge_stores",
     "task_digest",
     "canonical_json",
     "array_digest",

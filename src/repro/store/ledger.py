@@ -414,6 +414,45 @@ class RunLedger:
             "kept_parents": kept_parents,
         }
 
+    def counts(self) -> dict:
+        """On-disk inventory: entries per kind, model blobs, corrupt files.
+
+        Unlike :meth:`stats` (this process's hit/miss counters), this
+        walks the store itself, so it answers "what is in this ledger?"
+        for any process — the ``repro store stats`` subcommand and the
+        merge benchmark's dedupe-rate report. Reads bypass :meth:`get` on
+        purpose: taking an inventory must not skew the hit-rate counters
+        the resume logic is measured by.
+        """
+        by_kind: dict[str, int] = {}
+        entries = 0
+        with_model = 0
+        corrupt = 0
+        objects = self.root / _OBJECTS
+        if objects.is_dir():
+            for path in sorted(objects.glob("??/*.json")):
+                try:
+                    data = json.loads(path.read_text(encoding="utf-8"))
+                except (json.JSONDecodeError, OSError):
+                    corrupt += 1
+                    continue
+                entries += 1
+                kind = str(data.get("kind", "")) if isinstance(data, dict) else ""
+                by_kind[kind] = by_kind.get(kind, 0) + 1
+                if isinstance(data, dict) and data.get("has_model"):
+                    with_model += 1
+        models = self.root / _MODELS
+        model_blobs = (
+            sum(1 for _ in models.glob("??/*.npz")) if models.is_dir() else 0
+        )
+        return {
+            "entries": entries,
+            "by_kind": dict(sorted(by_kind.items())),
+            "with_model": with_model,
+            "model_blobs": model_blobs,
+            "corrupt": corrupt,
+        }
+
     def verify(self) -> dict:
         """Integrity check; returns ``{"checked", "problems"}``.
 
@@ -505,10 +544,26 @@ def coerce_ledger(store) -> RunLedger | None:
     """Interpret a call site's ``store`` argument.
 
     ``None`` stays ``None`` (no persistence); a :class:`RunLedger` is used
-    as-is; anything path-like opens a ledger at that directory.
+    as-is; anything path-like opens a ledger at that directory. Anything
+    else — and a path that exists but is not a directory — raises a
+    :class:`ValidationError` that names the offending value, so a typo'd
+    ``--store`` fails at the call site instead of deep inside a worker's
+    ``mkdir``.
     """
     if store is None:
         return None
     if isinstance(store, RunLedger):
         return store
-    return RunLedger(store)
+    try:
+        root = Path(store)
+    except TypeError as exc:
+        raise ValidationError(
+            f"store must be None, a RunLedger, or a directory path; got "
+            f"{type(store).__name__}: {store!r}"
+        ) from exc
+    if root.exists() and not root.is_dir():
+        raise ValidationError(
+            f"store path {root} exists but is not a directory; a run ledger "
+            "needs a directory root"
+        )
+    return RunLedger(root)

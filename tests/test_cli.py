@@ -190,6 +190,59 @@ class TestExperimentsRunSpec:
         ]) == 2
         assert "not found" in capsys.readouterr().err
 
+    def test_sharded_run_then_merge_matches_unsharded(
+        self, spec_file, tmp_path, capsys
+    ):
+        # The whole distributed workflow through the CLI: two shards into
+        # separate stores, `store merge` unions them, a report run over
+        # the merged store finds every cell cached and its aggregates
+        # equal the unsharded run's.
+        assert main([
+            "experiments", "run", str(spec_file),
+            "--store", str(tmp_path / "full"), "--json",
+        ]) == 0
+        full = json.loads(capsys.readouterr().out)
+        shards = []
+        for i in range(2):
+            assert main([
+                "experiments", "run", str(spec_file),
+                "--store", str(tmp_path / f"s{i}"),
+                "--shard", f"{i}/2", "--json",
+            ]) == 0
+            shards.append(json.loads(capsys.readouterr().out))
+        assert shards[1]["telemetry"]["shard"] == "1/2"
+        assert shards[0]["total"] + shards[1]["total"] == full["total"]
+        assert main([
+            "store", "merge", str(tmp_path / "merged"),
+            str(tmp_path / "s0"), str(tmp_path / "s1"),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "experiments", "run", str(spec_file),
+            "--store", str(tmp_path / "merged"), "--json",
+        ]) == 0
+        merged = json.loads(capsys.readouterr().out)
+        assert merged["cached"] == merged["total"] == full["total"]
+        assert merged["aggregates"] == full["aggregates"]
+        # `cached` records this run's cold/warm state, not cell identity —
+        # the merged-report run is (by design) fully warm.
+        def _identity(cells):
+            return [
+                {k: v for k, v in cell.items() if k != "cached"}
+                for cell in cells
+            ]
+        assert _identity(merged["cells"]) == _identity(full["cells"])
+        assert main([
+            "store", "verify", "--store", str(tmp_path / "merged"),
+        ]) == 0
+
+    def test_invalid_shard_errors(self, spec_file, tmp_path, capsys):
+        assert main([
+            "experiments", "run", str(spec_file),
+            "--store", str(tmp_path / "ledger"), "--shard", "2/2",
+        ]) == 2
+        assert "shard index" in capsys.readouterr().err
+
 
 class TestSweepWithStore:
     def test_sweep_persists_and_resumes(self, tmp_path, capsys):
@@ -252,6 +305,63 @@ class TestStoreCommands:
         assert main(["store", "gc", "--store", str(populated),
                      "--kind", "method_result"]) == 0
         assert "removed 1 entries" in capsys.readouterr().out
+
+    def test_stats(self, populated, capsys):
+        assert main(["store", "stats", "--store", str(populated)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:      1" in out
+        assert "method_result" in out
+
+    def test_stats_json(self, populated, capsys):
+        assert main([
+            "store", "stats", "--store", str(populated), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["entries"] == 1
+        assert payload["counts"]["by_kind"] == {"method_result": 1}
+        assert "hits" in payload["session"]
+
+    def test_merge(self, populated, tmp_path, capsys):
+        from repro.store import RunLedger
+
+        src = tmp_path / "other"
+        RunLedger(src).put({"kind": "method_result", "method": "kpfr"},
+                           {"x": 2})
+        dest = tmp_path / "union"
+        assert main([
+            "store", "merge", str(dest), str(populated), str(src),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "copied 2 entries" in out
+        assert len(RunLedger(dest).ls()) == 2
+        # Idempotent re-merge through the CLI.
+        assert main([
+            "store", "merge", str(dest), str(populated), str(src), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["copied"] == 0
+        assert payload["deduped"] == 2
+        assert payload["dedupe_rate"] == 1.0
+
+    def test_merge_conflict_exits_nonzero(self, populated, tmp_path, capsys):
+        import json as _json
+        from repro.store import RunLedger
+
+        src = tmp_path / "conflicting"
+        entry = RunLedger(src).put(
+            {"kind": "method_result", "method": "pfr",
+             "harness": {"dataset": {"name": "synthetic"}}}, {"x": 1},
+        )
+        path = next((src / "objects").glob("??/*.json"))
+        data = _json.loads(path.read_text())
+        data["payload"] = {"x": 999}
+        path.write_text(_json.dumps(data))
+        dest = tmp_path / "union"
+        assert main([
+            "store", "merge", str(dest), str(populated), str(src),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert f"CONFLICT {entry.digest[:16]}" in out
 
 
 class TestRegisterFromLedger:

@@ -1,0 +1,235 @@
+"""Tests for deterministic RunSpec sharding (experiments.spec.shard_of).
+
+The scale-out contract: for any K the shards are a disjoint cover of the
+compiled cell list, assignments are a pure function of each cell's task
+digest (stable under grid widening — existing cells never change shard),
+and a sharded-then-merged execution rebuilds a report bitwise identical
+to the unsharded run.
+"""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments import (
+    RunSpec,
+    compile_cells,
+    parse_shard,
+    run_spec,
+    shard_of,
+)
+from repro.store import RunLedger, merge_stores
+
+
+def _spec(gammas=(0.0, 0.5), seeds=(0, 1), methods=("original", "pfr")):
+    return RunSpec.from_dict({
+        "name": "shardable",
+        "datasets": [{"name": "synthetic", "scale": 0.3}],
+        "methods": list(methods),
+        "gammas": list(gammas),
+        "seeds": list(seeds),
+        "harness": {"n_components": 2},
+    })
+
+
+@pytest.fixture(scope="module")
+def base_cells():
+    """Compiled cells of the base spec (module-scoped; compilation
+    materializes datasets to fingerprint them)."""
+    return compile_cells(_spec())
+
+
+class TestParseShard:
+    def test_none_passthrough(self):
+        assert parse_shard(None) is None
+
+    def test_string_and_pair_forms(self):
+        assert parse_shard("0/4") == (0, 4)
+        assert parse_shard("3/4") == (3, 4)
+        assert parse_shard((1, 2)) == (1, 2)
+        assert parse_shard([1, 2]) == (1, 2)
+
+    @pytest.mark.parametrize("bad", ["2", "a/b", "1/0", "2/2", "-1/2", "3/2"])
+    def test_invalid_strings(self, bad):
+        with pytest.raises(ValidationError):
+            parse_shard(bad)
+
+    def test_invalid_objects(self):
+        with pytest.raises(ValidationError):
+            parse_shard(object())
+        with pytest.raises(ValidationError):
+            parse_shard((1, 2, 3))
+
+
+class TestShardOf:
+    def test_range_and_determinism(self):
+        digest = "ab" * 32
+        for k in (1, 2, 3, 7, 64):
+            index = shard_of(digest, k)
+            assert 0 <= index < k
+            assert shard_of(digest, k) == index
+
+    def test_single_shard_takes_everything(self):
+        assert shard_of("ff" * 32, 1) == 0
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValidationError):
+            shard_of("ab" * 32, 0)
+        with pytest.raises(ValidationError):
+            shard_of("ab" * 32, 1.5)
+        with pytest.raises(ValidationError):
+            shard_of("not-hex!", 2)
+
+
+class TestPartitionProperties:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 8])
+    def test_disjoint_cover_for_any_k(self, base_cells, k):
+        shards = [
+            {c["digest"] for c in base_cells if shard_of(c["digest"], k) == i}
+            for i in range(k)
+        ]
+        union = set().union(*shards)
+        assert union == {c["digest"] for c in base_cells}
+        assert sum(len(s) for s in shards) == len(base_cells)  # disjoint
+
+    def test_stable_under_grid_widening(self, base_cells):
+        # Widen every axis: more γ, more seeds, one more method. Cells of
+        # the original grid keep their digests and therefore their shard.
+        widened = compile_cells(
+            _spec(
+                gammas=(0.0, 0.5, 0.25, 1.0),
+                seeds=(0, 1, 2),
+                methods=("original", "pfr", "kpfr"),
+            )
+        )
+        base = {c["digest"] for c in base_cells}
+        widened_digests = {c["digest"] for c in widened}
+        assert base <= widened_digests  # old cells still exist
+        for k in (2, 3, 5):
+            before = {d: shard_of(d, k) for d in base}
+            after = {
+                c["digest"]: shard_of(c["digest"], k)
+                for c in widened
+                if c["digest"] in base
+            }
+            assert before == after
+
+    def test_assignment_independent_of_cell_order(self, base_cells):
+        # The shard is a function of the digest alone — shuffling the
+        # compiled list (or reordering the spec axes) changes nothing.
+        for cell in reversed(base_cells):
+            assert shard_of(cell["digest"], 3) == shard_of(
+                cell["digest"], 3
+            )
+
+
+class TestShardedExecution:
+    @pytest.fixture(scope="class")
+    def executed(self, tmp_path_factory):
+        """Unsharded run + 2-shard run into separate stores + merge."""
+        root = tmp_path_factory.mktemp("sharded")
+        spec = _spec()
+        full = run_spec(spec, store=root / "full")
+        shard_reports = [
+            run_spec(spec, store=root / f"s{i}", shard=(i, 2))
+            for i in range(2)
+        ]
+        merge_report = merge_stores(
+            root / "merged", root / "s0", root / "s1"
+        )
+        merged = run_spec(spec, store=root / "merged")
+        return spec, full, shard_reports, merge_report, merged, root
+
+    def test_shards_cover_matrix(self, executed):
+        spec, full, shard_reports, _merge, _merged, _root = executed
+        shard_digests = [
+            {c["digest"] for c in r.cells} for r in shard_reports
+        ]
+        assert set().union(*shard_digests) == {
+            c["digest"] for c in full.cells
+        }
+        assert sum(r.n_total for r in shard_reports) == full.n_total
+
+    def test_shard_cells_carry_shard_index(self, executed):
+        _spec_, _full, shard_reports, _merge, _merged, _root = executed
+        for i, report in enumerate(shard_reports):
+            assert all(c["shard"] == i for c in report.cells)
+            assert report.telemetry["shard"] == f"{i}/2"
+
+    def test_merge_unions_without_conflicts(self, executed):
+        _spec_, full, _shards, merge_report, _merged, root = executed
+        assert not merge_report.conflicts
+        assert merge_report.n_copied == full.n_total
+        assert RunLedger(root / "merged").verify()["problems"] == []
+
+    def test_merged_report_bitwise_identical_to_unsharded(self, executed):
+        _spec_, full, _shards, _merge, merged, _root = executed
+        assert merged.n_cached == merged.n_total == full.n_total
+        assert [c["digest"] for c in merged.cells] == [
+            c["digest"] for c in full.cells
+        ]
+        for key, result in full.results.items():
+            other = merged.results[key]
+            assert result.auc == other.auc
+            assert result.consistency_wf == other.consistency_wf
+            assert result.consistency_wx == other.consistency_wx
+        assert set(merged.aggregates) == set(full.aggregates)
+        for key in full.aggregates:
+            assert merged.aggregates[key].mean == full.aggregates[key].mean
+            assert merged.aggregates[key].std == full.aggregates[key].std
+        assert merged.to_json()["aggregates"] == full.to_json()["aggregates"]
+
+    def test_no_partial_aggregates_leave_a_shard(self, executed):
+        # A shard that holds only some of a (dataset, method, γ) group's
+        # seeds must not publish a mean/std for it.
+        spec, _full, shard_reports, _merge, _merged, _root = executed
+        for report in shard_reports:
+            seeds_seen = {}
+            for cell in report.cells:
+                seeds_seen.setdefault(
+                    (cell["dataset"], cell["method"], cell["gamma"]), set()
+                ).add(cell["seed"])
+            for key, agg in report.aggregates.items():
+                assert seeds_seen[key] == set(spec.seeds)
+                assert agg.n_runs == len(spec.seeds)
+            for key, seeds in seeds_seen.items():
+                if seeds != set(spec.seeds):
+                    assert key not in report.aggregates
+
+    def test_string_shard_form_accepted(self, executed):
+        spec, _full, shard_reports, _merge, _merged, root = executed
+        again = run_spec(spec, store=root / "s0", shard="0/2")
+        assert again.n_total == shard_reports[0].n_total
+        assert again.n_cached == again.n_total  # fully resumed
+
+    def test_unsharded_report_has_no_shard_keys(self, executed):
+        _spec_, full, _shards, _merge, merged, _root = executed
+        for report in (full, merged):
+            assert all("shard" not in c for c in report.cells)
+            assert "shard" not in report.telemetry
+
+
+class TestErrorPathsNameTheStore:
+    def test_run_spec_requires_store_names_value(self):
+        with pytest.raises(ValidationError, match="None"):
+            run_spec(_spec(), store=None)
+
+    def test_missing_cell_error_names_store_path(self, tmp_path, monkeypatch):
+        # Defeat the write-through so post-dispatch read-back finds
+        # nothing: the error must say *which* store the cell vanished
+        # from, not just that it vanished. The stub still returns an
+        # entry (run_method decodes it) — it just never touches disk.
+        from repro.store import LedgerEntry, task_digest
+
+        def phantom_put(self, task, payload, **kwargs):
+            return LedgerEntry(
+                digest=task_digest(task), kind=str(task["kind"]),
+                task=task, payload=payload,
+            )
+
+        monkeypatch.setattr(RunLedger, "put", phantom_put)
+        store = tmp_path / "ledger"
+        with pytest.raises(ValidationError, match=str(store)):
+            run_spec(
+                _spec(gammas=(0.5,), seeds=(0,), methods=("original",)),
+                store=store,
+            )

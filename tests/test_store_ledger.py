@@ -207,6 +207,45 @@ class TestRunLedger:
         assert coerce_ledger(ledger) is ledger
         assert coerce_ledger(str(tmp_path)) == ledger
 
+    def test_coerce_rejects_non_path_naming_the_value(self):
+        # Regression: a bogus store= argument used to surface as a bare
+        # TypeError from Path() deep inside a worker; now the error names
+        # what was passed.
+        with pytest.raises(ValidationError, match="int: 123"):
+            coerce_ledger(123)
+
+    def test_coerce_rejects_file_naming_the_path(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.write_text("plain file")
+        with pytest.raises(ValidationError, match=str(target)):
+            coerce_ledger(target)
+
+    def test_counts_inventory(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.put({"kind": "a", "i": 1}, {})
+        ledger.put({"kind": "a", "i": 2}, {})
+        ledger.put({"kind": "b", "i": 3}, {})
+        garbage = tmp_path / "objects" / "ab" / ("e" * 64 + ".json")
+        garbage.parent.mkdir(parents=True, exist_ok=True)
+        garbage.write_text("{not json")
+        counts = ledger.counts()
+        assert counts["entries"] == 3
+        assert counts["by_kind"] == {"a": 2, "b": 1}
+        assert counts["model_blobs"] == 0
+        assert counts["corrupt"] == 1
+
+    def test_counts_does_not_skew_stats(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.put(_task(), {"x": 1})
+        before = ledger.stats()["lookups"]
+        ledger.counts()
+        assert ledger.stats()["lookups"] == before
+
+    def test_counts_empty_store(self, tmp_path):
+        counts = RunLedger(tmp_path / "void").counts()
+        assert counts["entries"] == 0
+        assert counts["by_kind"] == {}
+
     def test_default_root_env(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_STORE", str(tmp_path / "s"))
         assert default_store_root() == tmp_path / "s"
